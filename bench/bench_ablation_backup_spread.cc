@@ -1,0 +1,81 @@
+// Backup-spread ablation (paper Algorithm 1 line 2): checkpoints are backed
+// up to an upstream instance chosen by hash so the backup load spreads over
+// all partitioned upstream operators. We deploy the word-count query with 4
+// splitter and 8 counter partitions carrying large state and compare hashed
+// spread against a fixed single holder: the fixed holder's downlink carries
+// all checkpoint bytes and its VM becomes a hotspot.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+struct SpreadResult {
+  uint64_t max_holder_bytes = 0;
+  uint64_t min_holder_bytes = 0;
+  uint64_t total_checkpoint_bytes = 0;
+  double p95_ms = 0;
+};
+
+SpreadResult RunSpread(bool spread) {
+  workloads::wordcount::WordCountConfig wc;
+  wc.rate_tuples_per_sec = 800;
+  wc.vocabulary = 50000;  // large state: ~MB-scale checkpoints
+  wc.seed = 31;
+  auto query = workloads::wordcount::BuildWordCountQuery(wc);
+  const OperatorId splitter = query.splitter;
+
+  sps::SpsConfig config;
+  config.cluster.checkpoint_interval = SecondsToSim(5);
+  config.cluster.spread_backups = spread;
+  config.scaling.enabled = false;
+  config.initial_parallelism = {{query.splitter, 4}, {query.counter, 8}};
+  sps::Sps sps(std::move(query.graph), config);
+  SEEP_CHECK(sps.Deploy().ok());
+  sps.RunFor(120);
+
+  SpreadResult out;
+  out.min_holder_bytes = UINT64_MAX;
+  for (InstanceId id : sps.cluster().LiveInstancesOf(splitter)) {
+    const auto* inst = sps.cluster().GetInstance(id);
+    const uint64_t bytes = sps.cluster().network()->DownlinkBytes(inst->vm());
+    out.max_holder_bytes = std::max(out.max_holder_bytes, bytes);
+    out.min_holder_bytes = std::min(out.min_holder_bytes, bytes);
+  }
+  out.total_checkpoint_bytes = sps.metrics().checkpoint_bytes;
+  out.p95_ms = sps.metrics().latency_ms.Percentile(95);
+  return out;
+}
+
+void BM_AblationBackupSpread(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Ablation (3.2)",
+           "Hashed backup spreading vs fixed holder (4 splitters backing up "
+           "8 counters, large state)");
+    std::printf("%-14s %18s %18s %20s %10s\n", "policy",
+                "max holder(MB)", "min holder(MB)", "ckpt bytes total(MB)",
+                "p95(ms)");
+    const SpreadResult hashed = RunSpread(true);
+    const SpreadResult fixed = RunSpread(false);
+    auto mb = [](uint64_t b) { return static_cast<double>(b) / 1e6; };
+    std::printf("%-14s %18.1f %18.1f %20.1f %10.0f\n", "hash-spread",
+                mb(hashed.max_holder_bytes), mb(hashed.min_holder_bytes),
+                mb(hashed.total_checkpoint_bytes), hashed.p95_ms);
+    std::printf("%-14s %18.1f %18.1f %20.1f %10.0f\n", "fixed-holder",
+                mb(fixed.max_holder_bytes), mb(fixed.min_holder_bytes),
+                mb(fixed.total_checkpoint_bytes), fixed.p95_ms);
+    std::printf("(expected: fixed holder concentrates all checkpoint bytes "
+                "on one VM's downlink)\n");
+    state.counters["hashed_max_MB"] = mb(hashed.max_holder_bytes);
+    state.counters["fixed_max_MB"] = mb(fixed.max_holder_bytes);
+  }
+}
+
+BENCHMARK(BM_AblationBackupSpread)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Elasticity ablation (the paper's §8 future work: "extend our scale out
+// policy with support for scale in to enable truly elastic deployments").
+// A load wave drives the word count query up and back down; with scale-in
+// enabled the VM count follows the wave both ways and the bill shrinks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+void BM_AblationElasticity(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Ablation (8)",
+           "Elastic scale in on a load wave (word count; high phase "
+           "60-300 s)");
+    std::printf("%-12s %10s %12s %12s %12s\n", "scale-in", "end VMs",
+                "end op-pi", "VM-hours", "p95(ms)");
+    for (bool scale_in : {false, true}) {
+      workloads::wordcount::WordCountConfig wc;
+      wc.rate_tuples_per_sec = 200;
+      wc.rate_fn = [](double t) {
+        return (t >= 60 && t < 300) ? 200.0 : 40.0;
+      };
+      wc.words_per_sentence = 10;
+      wc.counter_cost_us = 700;  // high phase: 200*10*700µs = 1.4 VMs
+      wc.splitter_cost_us = 350;
+      wc.seed = 44;
+
+      sps::SpsConfig config;
+      config.scaling.enabled = true;
+      config.scaling.threshold = 0.7;
+      config.scaling.scale_in_enabled = scale_in;
+      config.scaling.scale_in_threshold = 0.25;
+      config.scaling.scale_in_consecutive = 4;
+      config.cluster.pool.target_size = 3;
+
+      auto query = workloads::wordcount::BuildWordCountQuery(wc);
+      const OperatorId counter = query.counter;
+      sps::Sps sps(std::move(query.graph), config);
+      SEEP_CHECK(sps.Deploy().ok());
+      sps.RunFor(600);
+
+      std::printf("%-12s %10zu %12u %12.2f %12.1f\n",
+                  scale_in ? "on" : "off", sps.VmsInUse(),
+                  sps.ParallelismOf(counter),
+                  sps.cluster().provider()->BilledVmSeconds() / 3600.0,
+                  sps.metrics().latency_ms.Percentile(95));
+      state.counters[scale_in ? "vmh_on" : "vmh_off"] =
+          sps.cluster().provider()->BilledVmSeconds() / 3600.0;
+      state.counters[scale_in ? "pi_on" : "pi_off"] =
+          sps.ParallelismOf(counter);
+    }
+    std::printf("(expected: scale-in returns to 1 partition after the wave "
+                "and bills fewer VM-hours)\n");
+  }
+}
+
+BENCHMARK(BM_AblationElasticity)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Figure 6 reproduction: dynamic scale out for the Linear Road Benchmark
+// closed-loop workload. Prints the time series of input rate, result
+// throughput and allocated VMs — the paper shows the SPS tracking a ramp
+// from ~12k to 600k tuples/s with up to ~50 VMs at L=350.
+//
+// Rates here are load-scaled by 64 (costs scaled up by 64), so the printed
+// "equivalent" columns multiply back to paper units.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+constexpr double kLoadScale = 64;
+
+void BM_Fig06_LrbDynamicScaleOut(benchmark::State& state) {
+  const auto l = static_cast<uint32_t>(state.range(0));
+  const double duration = static_cast<double>(state.range(1));
+
+  for (auto _ : state) {
+    auto lrb = PaperLrb(l, duration, kLoadScale);
+    auto query = workloads::lrb::BuildLrbQuery(lrb);
+    sps::SpsConfig config = PaperControl();
+    sps::Sps sps(std::move(query.graph), config);
+    SEEP_CHECK(sps.Deploy().ok());
+    sps.RunFor(duration);
+
+    Banner("Figure 6",
+           "Dynamic scale out for the LRB workload (closed loop)");
+    std::printf("L=%u, duration=%.0fs, load_scale=%.0f "
+                "(rates below are x%.0f in paper units)\n",
+                l, duration, kLoadScale, kLoadScale);
+    std::printf("%10s %14s %14s %16s %8s\n", "time(s)", "input(t/s)",
+                "output(t/s)", "input-equiv(t/s)", "VMs");
+
+    const auto& metrics = sps.metrics();
+    const auto input = metrics.source_tuples.RatesPerSecond();
+    const auto output = metrics.sink_tuples.RatesPerSecond();
+    const SimTime bucket = SecondsToSim(50);
+    double vms = 0;
+    size_t vm_idx = 0;
+    const auto& vm_series = metrics.vms_in_use.points();
+    for (SimTime t = 0; t < SecondsToSim(duration); t += bucket) {
+      double in_rate = 0, out_rate = 0;
+      size_t n = 0;
+      for (SimTime s = t; s < t + bucket; s += kMicrosPerSecond) {
+        const size_t idx = static_cast<size_t>(s / kMicrosPerSecond);
+        if (idx < input.size()) in_rate += input[idx].value;
+        if (idx < output.size()) out_rate += output[idx].value;
+        ++n;
+      }
+      in_rate /= static_cast<double>(n);
+      out_rate /= static_cast<double>(n);
+      while (vm_idx < vm_series.size() && vm_series[vm_idx].time <= t + bucket) {
+        vms = vm_series[vm_idx].value;
+        ++vm_idx;
+      }
+      std::printf("%10.0f %14.0f %14.0f %16.0f %8.0f\n", SimToSeconds(t),
+                  in_rate, out_rate, in_rate * kLoadScale, vms);
+    }
+    std::printf("scale-out events: %zu; final VMs in use: %zu; "
+                "billed VM-hours: %.1f\n",
+                metrics.scale_outs.size(), sps.VmsInUse(),
+                sps.cluster().provider()->BilledVmSeconds() / 3600.0);
+
+    state.counters["final_vms"] = static_cast<double>(sps.VmsInUse());
+    state.counters["scale_outs"] =
+        static_cast<double>(metrics.scale_outs.size());
+    state.counters["peak_input_equiv"] =
+        metrics.source_tuples.RatesPerSecond().empty()
+            ? 0
+            : [&] {
+                double m = 0;
+                for (const auto& p : input) m = std::max(m, p.value);
+                return m * kLoadScale;
+              }();
+  }
+}
+
+BENCHMARK(BM_Fig06_LrbDynamicScaleOut)
+    ->Args({350, 2000})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

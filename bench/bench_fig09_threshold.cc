@@ -1,0 +1,64 @@
+// Figure 9 reproduction: impact of the scale-out threshold δ on the number
+// of allocated VMs and on processing latency (LRB, L=64). The paper finds a
+// concave median-latency curve — latency rises both for low δ (too many
+// disruptive scale-outs) and high δ (VMs near overload) — with δ=50–70% the
+// sweet spot, and fewer VMs allocated as δ grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+struct ThresholdResult {
+  double median_ms;
+  double p95_ms;
+  size_t vms;
+  size_t scale_outs;
+};
+
+ThresholdResult RunWithThreshold(double threshold) {
+  // Ramp to the L=64 peak over 2000 s (paper-relative rate), then hold.
+  auto lrb = PaperLrb(64, /*duration_s=*/2400, 64, /*ramp_s=*/2000);
+  lrb.seed = 9;
+  auto query = workloads::lrb::BuildLrbQuery(lrb);
+  sps::SpsConfig config = PaperControl();
+  config.scaling.threshold = threshold;
+  sps::Sps sps(std::move(query.graph), config);
+  SEEP_CHECK(sps.Deploy().ok());
+  sps.RunFor(2400);
+  return {sps.metrics().latency_ms.Median(),
+          sps.metrics().latency_ms.Percentile(95), sps.VmsInUse(),
+          sps.metrics().scale_outs.size()};
+}
+
+void BM_Fig09_ThresholdSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Figure 9",
+           "Impact of the scale-out threshold (delta) on processing latency "
+           "(LRB L=64)");
+    std::printf("%12s %12s %12s %8s %12s\n", "threshold(%)", "median(ms)",
+                "p95(ms)", "VMs", "scale-outs");
+    const double thresholds[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+    double vms_at_10 = 0, vms_at_90 = 0;
+    for (double d : thresholds) {
+      const ThresholdResult r = RunWithThreshold(d);
+      std::printf("%12.0f %12.1f %12.1f %8zu %12zu\n", d * 100, r.median_ms,
+                  r.p95_ms, r.vms, r.scale_outs);
+      if (d == 0.1) vms_at_10 = static_cast<double>(r.vms);
+      if (d == 0.9) vms_at_90 = static_cast<double>(r.vms);
+    }
+    std::printf("(paper: VMs fall as delta rises; median latency concave; "
+                "best trade-off at 50-70%%)\n");
+    state.counters["vms_at_10pct"] = vms_at_10;
+    state.counters["vms_at_90pct"] = vms_at_90;
+  }
+}
+
+BENCHMARK(BM_Fig09_ThresholdSweep)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

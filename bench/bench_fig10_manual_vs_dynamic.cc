@@ -1,0 +1,116 @@
+// Figure 10 reproduction: dynamic scale out vs. manual (expert) allocation,
+// LRB L=115. The paper's expert allocates a fixed number of VMs across
+// operators in proportion to their load; 20 VMs is the manual optimum,
+// while the dynamic policy lands at 25 VMs (25% over) with comparable
+// latency (median 101 ms, p95 714 ms).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+struct AllocationResult {
+  double median_ms;
+  double p95_ms;
+  size_t vms;
+};
+
+// An "expert" static allocation: N worker VMs spread over the scalable
+// operators in proportion to their per-tuple cost share (the steady-state
+// answer an expert tracking the bottleneck converges to).
+AllocationResult RunManual(uint32_t worker_vms) {
+  auto lrb = PaperLrb(115, /*duration_s=*/2400, 64, /*ramp_s=*/2000);
+  lrb.seed = 10;
+  auto query = workloads::lrb::BuildLrbQuery(lrb);
+
+  // Cost shares per source tuple: forwarder 15, toll calc 45,
+  // assessment ~6 (20% of tuples), collector ~5, balance ~2.
+  struct Share {
+    OperatorId op;
+    double share;
+  };
+  const std::vector<Share> shares = {
+      {query.forwarder, 15},
+      {query.toll_calculator, 45},
+      {query.toll_assessment, 6},
+      {query.toll_collector, 5},
+      {query.balance_account, 2},
+  };
+  double total = 0;
+  for (const auto& s : shares) total += s.share;
+
+  sps::SpsConfig config = PaperControl();
+  config.scaling.enabled = false;
+  uint32_t assigned = 0;
+  for (const auto& s : shares) {
+    const auto n = std::max<uint32_t>(
+        1, static_cast<uint32_t>(worker_vms * s.share / total + 0.5));
+    config.initial_parallelism[s.op] = n;
+    assigned += n;
+  }
+
+  sps::Sps sps(std::move(query.graph), config);
+  SEEP_CHECK(sps.Deploy().ok());
+  sps.RunFor(2400);
+  // Steady-state latency on the plateau (static allocations have no
+  // scale-out transients, but the ramp phase is under-utilised).
+  return {LatencyPercentileAfter(sps.metrics(), 2100, 50),
+          LatencyPercentileAfter(sps.metrics(), 2100, 95), sps.VmsInUse()};
+}
+
+AllocationResult RunDynamic() {
+  auto lrb = PaperLrb(115, /*duration_s=*/2400, 64, /*ramp_s=*/2000);
+  lrb.seed = 10;
+  auto query = workloads::lrb::BuildLrbQuery(lrb);
+  sps::Sps sps(std::move(query.graph), PaperControl());
+  SEEP_CHECK(sps.Deploy().ok());
+  sps.RunFor(2400);
+  return {LatencyPercentileAfter(sps.metrics(), 2100, 50),
+          LatencyPercentileAfter(sps.metrics(), 2100, 95), sps.VmsInUse()};
+}
+
+void BM_Fig10_ManualVsDynamic(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Figure 10",
+           "Dynamic vs manual scale out (LRB L=115); VMs include "
+           "source+sink");
+    std::printf("%-10s %8s %12s %12s\n", "mode", "VMs", "median(ms)",
+                "p95(ms)");
+    std::vector<AllocationResult> manual;
+    for (uint32_t workers : {8, 12, 16, 20, 24, 28}) {
+      manual.push_back(RunManual(workers));
+      const AllocationResult& r = manual.back();
+      std::printf("%-10s %8zu %12.1f %12.1f\n", "manual", r.vms, r.median_ms,
+                  r.p95_ms);
+    }
+    // The paper's "most efficient manual allocation": the smallest VM count
+    // before the p95 latency starts to climb — i.e. within 1.5x of the best
+    // p95 achieved by any allocation.
+    double best_p95 = 1e18;
+    for (const auto& r : manual) best_p95 = std::min(best_p95, r.p95_ms);
+    size_t manual_best_vms = 0;
+    for (const auto& r : manual) {
+      if (r.p95_ms <= 1.5 * best_p95) {
+        manual_best_vms = r.vms;
+        break;
+      }
+    }
+    const AllocationResult dyn = RunDynamic();
+    std::printf("%-10s %8zu %12.1f %12.1f\n", "dynamic", dyn.vms,
+                dyn.median_ms, dyn.p95_ms);
+    std::printf("(paper: manual optimum 20 VMs; dynamic uses ~25%% more "
+                "with low latency)\n");
+    state.counters["dynamic_vms"] = static_cast<double>(dyn.vms);
+    state.counters["manual_best_vms"] = static_cast<double>(manual_best_vms);
+    state.counters["dynamic_p95_ms"] = dyn.p95_ms;
+  }
+}
+
+BENCHMARK(BM_Fig10_ManualVsDynamic)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

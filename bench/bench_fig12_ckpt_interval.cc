@@ -1,0 +1,45 @@
+// Figure 12 reproduction: R+SM recovery time as a function of the
+// checkpointing interval, for different input rates. The paper shows
+// recovery time growing with the interval (more tuples replayed) and with
+// the rate (tuple re-processing dominates).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+void BM_Fig12_CheckpointInterval(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Figure 12",
+           "Recovery time for different R+SM checkpointing intervals");
+    std::printf("%14s %12s %12s %12s\n", "interval(s)", "100 t/s(s)",
+                "500 t/s(s)", "1000 t/s(s)");
+    for (double interval : {1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+      std::printf("%14.0f", interval);
+      for (double rate : {100.0, 500.0, 1000.0}) {
+        const RecoveryRun r = RunWordCountRecovery(
+            runtime::FaultToleranceMode::kStateManagement, rate, interval,
+            /*recovery_parallelism=*/1, WorstCaseFailTime(interval),
+            /*total=*/WorstCaseFailTime(interval) + 60);
+        std::printf(" %12.2f", r.recovery_seconds);
+        if (rate == 1000 && (interval == 1.0 || interval == 30.0)) {
+          state.counters["s_at_" + std::to_string(int(interval)) + "s"] =
+              r.recovery_seconds;
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("(paper: recovery time grows with interval and rate)\n");
+  }
+}
+
+BENCHMARK(BM_Fig12_CheckpointInterval)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

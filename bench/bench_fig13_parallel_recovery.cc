@@ -1,0 +1,48 @@
+// Figure 13 reproduction: serial vs parallel recovery using state
+// management (input rate 500 t/s). The paper shows parallel recovery
+// winning only at larger checkpoint intervals, where enough tuples must be
+// replayed that splitting the re-processing across two partitions pays for
+// its overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+void BM_Fig13_ParallelRecovery(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Figure 13",
+           "Recovery time for serial and parallel recovery (R+SM, "
+           "500 t/s)");
+    std::printf("%14s %12s %14s\n", "interval(s)", "serial(s)",
+                "parallel(s)");
+    for (double interval : {1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+      const double fail_at = WorstCaseFailTime(interval);
+      const RecoveryRun serial = RunWordCountRecovery(
+          runtime::FaultToleranceMode::kStateManagement, 500, interval,
+          /*recovery_parallelism=*/1, fail_at, fail_at + 60);
+      const RecoveryRun parallel = RunWordCountRecovery(
+          runtime::FaultToleranceMode::kStateManagement, 500, interval,
+          /*recovery_parallelism=*/2, fail_at, fail_at + 60);
+      std::printf("%14.0f %12.2f %14.2f\n", interval,
+                  serial.recovery_seconds, parallel.recovery_seconds);
+      if (interval == 30.0) {
+        state.counters["serial_30s"] = serial.recovery_seconds;
+        state.counters["parallel_30s"] = parallel.recovery_seconds;
+      }
+    }
+    std::printf("(paper: parallel recovery pays off only for larger "
+                "intervals)\n");
+  }
+}
+
+BENCHMARK(BM_Fig13_ParallelRecovery)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Figure 14 reproduction: overhead of state checkpointing on tuple
+// processing latency, for different state sizes (small ~10^2, medium ~10^4,
+// large ~10^5 dictionary entries) and input rates (100/500/1000 t/s),
+// against a no-checkpointing baseline. The paper's 95th-percentile latency
+// grows with state size and input rate; the medium effect is small.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+void BM_Fig14_CheckpointOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Figure 14",
+           "Overhead of state checkpointing for different input rates and "
+           "state sizes (95th-percentile latency, c=5 s)");
+    std::printf("%-16s %14s %14s %14s\n", "state size", "100 t/s(ms)",
+                "500 t/s(ms)", "1000 t/s(ms)");
+
+    struct Variant {
+      const char* label;
+      size_t vocabulary;
+      bool checkpointing;
+    };
+    const Variant variants[] = {
+        {"small (1e2)", 100, true},
+        {"medium (1e4)", 10000, true},
+        {"large (1e5)", 100000, true},
+        {"no checkpoint", 10000, false},
+    };
+    for (const Variant& v : variants) {
+      std::printf("%-16s", v.label);
+      for (double rate : {100.0, 500.0, 1000.0}) {
+        const RecoveryRun r = RunWordCountRecovery(
+            v.checkpointing ? runtime::FaultToleranceMode::kStateManagement
+                            : runtime::FaultToleranceMode::kNone,
+            rate, /*checkpoint_interval_s=*/5, /*recovery_parallelism=*/1,
+            /*fail_at=*/0, /*total=*/90, v.vocabulary,
+            /*inject_failure=*/false);
+        std::printf(" %14.1f", r.latency_p95_ms);
+        if (rate == 1000) {
+          state.counters[std::string(v.label).substr(0, 5) + "_p95_ms"] =
+              r.latency_p95_ms;
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("(paper: p95 grows with state size and rate; overhead "
+                "vanishes without checkpointing)\n");
+  }
+}
+
+BENCHMARK(BM_Fig14_CheckpointOverhead)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

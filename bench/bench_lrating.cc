@@ -1,0 +1,83 @@
+// Headline result reproduction (§6.1): the maximum sustainable Linear Road
+// L-rating. The paper reaches L=350 with 50 VMs, limited by source/sink
+// serialisation capacity (~600k tuples/s); Zeitler & Risch's L=512 on 560
+// dedicated cores is the only higher published figure. We sweep L and check
+// the two LRB acceptance criteria: offered load fully ingested and response
+// latency within the 5 s bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace seep::bench {
+namespace {
+
+struct LRatingResult {
+  bool sustained;
+  double achieved_peak_equiv;
+  double offered_peak_equiv;
+  double p95_ms;
+  size_t vms;
+};
+
+LRatingResult RunL(uint32_t l) {
+  constexpr double kLoadScale = 64;
+  constexpr double kRamp = 1600;
+  // A long plateau: the compressed ramp (1600 s vs the benchmark's 3 h)
+  // leaves a queue backlog at its steep tail that takes several hundred
+  // seconds of surplus capacity to drain; the LRB acceptance latency is
+  // judged at the drained steady state.
+  constexpr double kDuration = 2500;
+  auto lrb = PaperLrb(l, kDuration, kLoadScale, kRamp);
+  lrb.seed = 14;
+  auto query = workloads::lrb::BuildLrbQuery(lrb);
+  sps::SpsConfig config = PaperControl();
+  config.scaling.max_vms = 170;
+  sps::Sps sps(std::move(query.graph), config);
+  SEEP_CHECK(sps.Deploy().ok());
+  sps.RunFor(kDuration);
+
+  const double offered = lrb.ScaledRatePerXway(kDuration) * l * kLoadScale;
+  double peak_input = 0;
+  for (const auto& p : sps.metrics().source_tuples.RatesPerSecond()) {
+    peak_input = std::max(peak_input, p.value);
+  }
+  const double achieved = peak_input * kLoadScale;
+  // Latency judged at the steady-state plateau (LRB's acceptance criterion
+  // is on responses, sampled here after the system finished adapting).
+  const double p95 = LatencyPercentileAfter(sps.metrics(), kDuration - 250, 95);
+  const bool sustained = achieved >= 0.97 * offered && p95 < 5000 &&
+                         sps.metrics().source_saturated_ticks == 0;
+  return {sustained, achieved, offered, p95, sps.VmsInUse()};
+}
+
+void BM_LRating(benchmark::State& state) {
+  for (auto _ : state) {
+    Banner("Headline",
+           "Maximum sustainable L-rating (paper: L=350 on 50 VMs, then "
+           "source/sink saturate at ~600k t/s)");
+    std::printf("%6s %18s %18s %10s %6s %10s\n", "L", "offered-peak(t/s)",
+                "achieved-peak(t/s)", "p95(ms)", "VMs", "sustained");
+    uint32_t max_sustained = 0;
+    for (uint32_t l : {200u, 350u, 450u}) {
+      const LRatingResult r = RunL(l);
+      std::printf("%6u %18.0f %18.0f %10.0f %6zu %10s\n", l,
+                  r.offered_peak_equiv, r.achieved_peak_equiv, r.p95_ms,
+                  r.vms, r.sustained ? "yes" : "NO");
+      if (r.sustained) max_sustained = std::max(max_sustained, l);
+      if (l == 350) {
+        state.counters["vms_at_350"] = static_cast<double>(r.vms);
+        state.counters["p95_at_350_ms"] = r.p95_ms;
+      }
+    }
+    std::printf("max sustained L-rating: %u (paper: 350)\n", max_sustained);
+    state.counters["max_L"] = max_sustained;
+  }
+}
+
+BENCHMARK(BM_LRating)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+}  // namespace seep::bench
+
+BENCHMARK_MAIN();

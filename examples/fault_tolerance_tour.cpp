@@ -1,0 +1,77 @@
+// A guided tour of the three fault-tolerance mechanisms the paper compares
+// (§6.2): recovery using state management (R+SM), upstream backup (UB), and
+// source replay (SR), all on the same windowed word count query and the
+// same injected failure.
+//
+//   ./build/examples/fault_tolerance_tour
+
+#include <cstdio>
+
+#include "sps/sps.h"
+#include "workloads/wordcount/wordcount.h"
+
+namespace {
+
+using namespace seep;
+
+const char* ModeName(runtime::FaultToleranceMode mode) {
+  switch (mode) {
+    case runtime::FaultToleranceMode::kStateManagement:
+      return "R+SM (checkpoint + replay)";
+    case runtime::FaultToleranceMode::kUpstreamBackup:
+      return "UB   (upstream buffers)";
+    case runtime::FaultToleranceMode::kSourceReplay:
+      return "SR   (replay from source)";
+    default:
+      return "none";
+  }
+}
+
+void RunOne(runtime::FaultToleranceMode mode) {
+  workloads::wordcount::WordCountConfig workload;
+  workload.rate_tuples_per_sec = 500;
+  workload.vocabulary = 2000;
+  workload.seed = 4;
+  auto query = workloads::wordcount::BuildWordCountQuery(workload);
+  auto results = query.results;
+
+  sps::SpsConfig config;
+  config.cluster.ft_mode = mode;
+  config.cluster.checkpoint_interval = SecondsToSim(5);
+  config.cluster.buffer_window = SecondsToSim(35);
+  config.scaling.enabled = false;
+
+  sps::Sps sps(std::move(query.graph), config);
+  SEEP_CHECK(sps.Deploy().ok());
+  sps.InjectFailure(query.counter, 64.8);  // mid-window, worst case for c=5
+  sps.RunFor(150);
+
+  double recovery = -1;
+  for (const auto& r : sps.metrics().recoveries) {
+    if (r.caught_up_at != 0) recovery = r.RecoverySeconds();
+  }
+  int64_t window1 = 0;
+  for (const auto& [key, count] : results->counts) {
+    if (key.first == 1) window1 += count;  // the window the failure hit
+  }
+  std::printf("%-28s recovery %6.2f s | replayed %8llu tuples | "
+              "window-1 count %lld\n",
+              ModeName(mode), recovery,
+              static_cast<unsigned long long>(
+                  sps.metrics().tuples_replayed),
+              static_cast<long long>(window1));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("failing the stateful word counter at t=64.8s "
+              "(500 tuples/s, 30 s windows, c=5 s)...\n\n");
+  RunOne(seep::runtime::FaultToleranceMode::kStateManagement);
+  RunOne(seep::runtime::FaultToleranceMode::kUpstreamBackup);
+  RunOne(seep::runtime::FaultToleranceMode::kSourceReplay);
+  std::printf("\nAll three rebuild the damaged window; R+SM replays at most "
+              "one checkpoint interval\nof tuples instead of the whole "
+              "window, so it recovers fastest (paper Fig. 11).\n");
+  return 0;
+}

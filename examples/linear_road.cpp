@@ -1,0 +1,74 @@
+// Linear Road Benchmark end-to-end (paper §6.1): deploy the 7-operator LRB
+// query on the simulated cloud and watch the SPS scale out automatically as
+// the input ramps from ~12k to ~600k (paper-equivalent) tuples/s.
+//
+//   ./build/examples/linear_road [L] [duration_s]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sps/sps.h"
+#include "workloads/lrb/lrb.h"
+
+int main(int argc, char** argv) {
+  using namespace seep;
+
+  const uint32_t l = argc > 1 ? std::atoi(argv[1]) : 64;
+  const double duration = argc > 2 ? std::atof(argv[2]) : 400;
+
+  workloads::lrb::LrbConfig lrb;
+  lrb.num_xways = l;
+  lrb.duration_s = duration;
+  // Thin the stream 64x while scaling per-tuple costs 64x: VM demand and
+  // scale-out behaviour match the full-rate benchmark (DESIGN.md §2).
+  lrb.load_scale = 64;
+  lrb.seed = 1;
+
+  auto query = workloads::lrb::BuildLrbQuery(lrb);
+  auto results = query.results;
+
+  sps::SpsConfig config;
+  config.scaling.report_interval = SecondsToSim(5);   // r
+  config.scaling.consecutive_reports = 2;             // k
+  config.scaling.threshold = 0.70;                    // delta
+  config.cluster.pool.target_size = 4;                // p
+
+  sps::Sps sps(std::move(query.graph), config);
+  if (auto status = sps.Deploy(); !status.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("LRB L=%u over %.0fs; initial VMs %zu\n", l, duration,
+              sps.VmsInUse());
+  std::printf("%8s %10s %6s %12s %12s %12s\n", "t(s)", "in(t/s)", "VMs",
+              "fwd-pi", "tollcalc-pi", "assess-pi");
+  for (double t = duration / 8; t <= duration; t += duration / 8) {
+    sps.RunUntil(t);
+    const auto rates = sps.metrics().source_tuples.RatesPerSecond();
+    const double in_rate =
+        rates.empty() ? 0 : rates[std::min(rates.size() - 1,
+                                           static_cast<size_t>(t) - 1)]
+                                .value;
+    std::printf("%8.0f %10.0f %6zu %12u %12u %12u\n", t, in_rate,
+                sps.VmsInUse(), sps.ParallelismOf(query.forwarder),
+                sps.ParallelismOf(query.toll_calculator),
+                sps.ParallelismOf(query.toll_assessment));
+  }
+
+  std::printf("\nresults: %llu toll notifications, %llu accident alerts, "
+              "%llu balance answers, total tolls %lld\n",
+              static_cast<unsigned long long>(results->toll_notifications),
+              static_cast<unsigned long long>(results->accident_alerts),
+              static_cast<unsigned long long>(results->balance_answers),
+              static_cast<long long>(results->total_tolls_charged));
+  std::printf("latency: median %.0f ms, p95 %.0f ms, p99 %.0f ms "
+              "(LRB bound: 5000 ms)\n",
+              sps.metrics().latency_ms.Median(),
+              sps.metrics().latency_ms.Percentile(95),
+              sps.metrics().latency_ms.Percentile(99));
+  std::printf("%zu scale-out events; %.1f VM-hours billed\n",
+              sps.metrics().scale_outs.size(),
+              sps.cluster().provider()->BilledVmSeconds() / 3600.0);
+  return 0;
+}

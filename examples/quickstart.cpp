@@ -1,0 +1,81 @@
+// Quickstart: build a stateful streaming query, deploy it on the simulated
+// cloud, scale it out, survive a failure, and read the results.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The query is the paper's running example (Fig. 2): sentences -> word
+// splitter -> windowed word counter -> sink.
+
+#include <cstdio>
+
+#include "sps/sps.h"
+#include "workloads/wordcount/wordcount.h"
+
+int main() {
+  using namespace seep;
+
+  // 1. Describe the workload: 500 sentences/s over a 1000-word vocabulary,
+  //    counted in 30 s windows.
+  workloads::wordcount::WordCountConfig workload;
+  workload.rate_tuples_per_sec = 500;
+  workload.vocabulary = 1000;
+  workload.window = SecondsToSim(30);
+  workload.seed = 7;
+
+  // BuildWordCountQuery assembles the logical query graph; you can equally
+  // build your own with QueryGraph::AddSource/AddOperator/AddSink and
+  // custom Operator subclasses (see src/core/operator.h).
+  auto query = workloads::wordcount::BuildWordCountQuery(workload);
+  auto results = query.results;  // shared handle into the sink
+
+  // 2. Configure the SPS: checkpoint every 5 s (the paper's c), keep a
+  //    small VM pool, and let the bottleneck detector scale out at 70% CPU.
+  sps::SpsConfig config;
+  config.cluster.checkpoint_interval = SecondsToSim(5);
+  // Pool sized for one scale-out (2 VMs) plus a failure before the ~90 s
+  // asynchronous refill lands — too small a pool stalls recovery behind
+  // VM provisioning, exactly the §5.2 trade-off.
+  config.cluster.pool.target_size = 4;
+  config.scaling.threshold = 0.70;
+
+  sps::Sps sps(std::move(query.graph), config);
+  if (auto status = sps.Deploy(); !status.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("deployed %zu VMs\n", sps.VmsInUse());
+
+  // 3. Run for a minute, then scale the stateful counter out by hand (the
+  //    detector would do this automatically under load).
+  sps.RunFor(60);
+  sps.RequestScaleOut(query.counter, sps.NowSeconds() + 1);
+  sps.RunFor(30);
+  std::printf("after scale out: counter parallelism = %u\n",
+              sps.ParallelismOf(query.counter));
+
+  // 4. Kill the VM hosting one counter partition; the failure detector
+  //    notices within a second and recovery restores the checkpointed
+  //    state and replays the unprocessed tuples.
+  sps.InjectFailure(query.counter, sps.NowSeconds() + 5);
+  sps.RunFor(60);
+  for (const auto& r : sps.metrics().recoveries) {
+    std::printf("recovered operator %u in %.2f s (detected in %.2f s)\n",
+                r.op, r.RecoverySeconds(),
+                SimToSeconds(r.detected_at - r.failed_at));
+  }
+
+  // 5. Results are exact despite the failure: word counts per window.
+  int64_t window2_total = 0;
+  for (const auto& [key, count] : results->counts) {
+    if (key.first == 2) window2_total += count;
+  }
+  std::printf("window 2 counted %lld words across %zu (window, word) cells\n",
+              static_cast<long long>(window2_total), results->counts.size());
+  std::printf("median latency %.1f ms, p95 %.1f ms, duplicates dropped %llu\n",
+              sps.metrics().latency_ms.Median(),
+              sps.metrics().latency_ms.Percentile(95),
+              static_cast<unsigned long long>(
+                  sps.metrics().duplicates_dropped));
+  return 0;
+}

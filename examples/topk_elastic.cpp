@@ -1,0 +1,71 @@
+// Open-loop elasticity demo (paper §6.1, Fig. 8): a map/reduce-style top-k
+// query starts under-provisioned and drops tuples; the SPS scales out until
+// it sustains the offered rate, then we shrink the load and scale back *in*
+// using the state-merge extension (paper §3.3 / §8 future work).
+//
+//   ./build/examples/topk_elastic
+
+#include <cstdio>
+
+#include "sps/sps.h"
+#include "workloads/topk/topk.h"
+
+int main() {
+  using namespace seep;
+
+  workloads::topk::TopKConfig workload;
+  workload.total_rate_tuples_per_sec = 30000;
+  workload.num_sources = 6;
+  workload.map_cost_us = 30;     // one VM sustains ~33k t/s
+  workload.reduce_cost_us = 40;  // one VM sustains ~25k t/s: must scale
+  workload.num_languages = 200;
+  workload.k = 10;
+  workload.seed = 3;
+
+  auto query = workloads::topk::BuildTopKQuery(workload);
+  auto results = query.results;
+
+  sps::SpsConfig config;
+  config.cluster.max_queue_tuples = 20000;  // open loop: drop when full
+  config.scaling.threshold = 0.70;
+  config.cluster.pool.target_size = 4;
+
+  sps::Sps sps(std::move(query.graph), config);
+  if (auto status = sps.Deploy(); !status.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%8s %8s %8s %8s %14s\n", "t(s)", "map-pi", "red-pi", "VMs",
+              "dropped(t/s)");
+  for (double t = 30; t <= 300; t += 30) {
+    sps.RunUntil(t);
+    const auto drops = sps.metrics().dropped_tuples.RatesPerSecond();
+    double recent = 0;
+    for (double s = t - 30; s < t; ++s) {
+      const auto idx = static_cast<size_t>(s);
+      if (idx < drops.size()) recent += drops[idx].value;
+    }
+    std::printf("%8.0f %8u %8u %8zu %14.0f\n", t,
+                sps.ParallelismOf(query.map),
+                sps.ParallelismOf(query.reduce), sps.VmsInUse(),
+                recent / 30);
+  }
+
+  // Top-10 language ranking of a closed window.
+  std::printf("\ntop-10 most visited language editions (window 8):\n");
+  for (const auto& [lang, count] : results->TopK(/*window=*/8, workload.k)) {
+    std::printf("  lang %3lld: %lld visits\n", static_cast<long long>(lang),
+                static_cast<long long>(count));
+  }
+
+  // Scale back in: merge two reduce partitions under quiescence.
+  if (sps.ParallelismOf(query.reduce) >= 2) {
+    std::printf("\nscaling reduce back in...\n");
+    sps.RequestScaleIn(query.reduce, sps.NowSeconds() + 1);
+    sps.RunFor(30);
+    std::printf("reduce parallelism now %u; VMs %zu\n",
+                sps.ParallelismOf(query.reduce), sps.VmsInUse());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#ifndef SEEP_CLOUD_CLOUD_PROVIDER_H_
+#define SEEP_CLOUD_CLOUD_PROVIDER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/vm.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/simulation.h"
+
+namespace seep::cloud {
+
+/// IaaS provider model parameters.
+struct CloudProviderConfig {
+  /// Mean time to provision a fresh VM. Public IaaS platforms take on the
+  /// order of minutes (paper §5.2); the pool exists to hide this.
+  SimTime provision_delay_mean = SecondsToSim(90);
+  /// Uniform jitter fraction applied to the delay (0.2 => ±20%).
+  double provision_jitter = 0.2;
+  /// Compute capacity of granted VMs relative to the reference core.
+  double vm_capacity = 1.0;
+};
+
+/// Simulated IaaS control plane: asynchronous VM provisioning with
+/// minute-scale delays, crash-stop failure marking, and VM-hour accounting.
+class CloudProvider {
+ public:
+  using VmGrant = std::function<void(VmId)>;
+
+  CloudProvider(sim::Simulation* sim, CloudProviderConfig config,
+                uint64_t seed)
+      : sim_(sim), config_(config), rng_(seed) {}
+
+  /// Requests a new VM; `on_ready` fires after the provisioning delay with
+  /// the booted VM (state kPooled — caller decides whether it goes to the
+  /// pool or straight into use).
+  void RequestVm(VmGrant on_ready);
+
+  /// Synchronously provisions a booted VM (state kPooled). Used only for
+  /// initial deployment and pool pre-fill, which the paper performs before
+  /// the measured run starts.
+  VmId RequestVmImmediate();
+
+  /// Marks a VM failed (crash-stop). Returns NotFound for unknown ids and
+  /// FailedPrecondition if it already terminated.
+  seep::Status KillVm(VmId id);
+
+  /// Returns a VM to the provider; billing stops.
+  seep::Status ReleaseVm(VmId id);
+
+  /// Transition a pooled VM to in-use (bookkeeping only).
+  seep::Status MarkInUse(VmId id);
+
+  const Vm* GetVm(VmId id) const;
+  Vm* GetMutableVm(VmId id);
+
+  /// Total VM-seconds billed so far (provisioning time is billed too, as on
+  /// real IaaS). Live VMs are billed up to Now().
+  double BilledVmSeconds() const;
+
+  size_t num_live() const { return num_live_; }
+  size_t num_requested() const { return next_id_; }
+
+ private:
+  sim::Simulation* sim_;
+  CloudProviderConfig config_;
+  Rng rng_;
+  VmId next_id_ = 0;
+  size_t num_live_ = 0;
+  std::unordered_map<VmId, Vm> vms_;
+};
+
+}  // namespace seep::cloud
+
+#endif  // SEEP_CLOUD_CLOUD_PROVIDER_H_

@@ -1,0 +1,40 @@
+#ifndef SEEP_COMMON_HASH_H_
+#define SEEP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace seep {
+
+/// 64-bit finalizer-style mixer (from MurmurHash3 / SplitMix64). Used to map
+/// arbitrary integer keys onto the uniform key-hash space that routing state
+/// partitions by interval (paper §2.2: "keys can be computed as a hash").
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over bytes; used to key textual payloads (e.g. words).
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  // Final mix so short strings spread across the full key interval.
+  return Mix64(h);
+}
+
+/// Combines two hashes (boost::hash_combine-style).
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace seep
+
+#endif  // SEEP_COMMON_HASH_H_

@@ -1,0 +1,29 @@
+#ifndef SEEP_COMMON_IDS_H_
+#define SEEP_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace seep {
+
+/// Identifier of a logical operator in the query graph (paper's `o`).
+using OperatorId = uint32_t;
+
+/// Identifier of a physical partitioned operator instance in the execution
+/// graph (paper's `o^i`). Instance ids are unique across the whole run and
+/// never reused, so a message addressed to a failed/replaced instance can be
+/// detected and dropped.
+using InstanceId = uint32_t;
+
+/// Identifier of a simulated virtual machine.
+using VmId = uint32_t;
+
+/// Hashed partitioning key; routing state maps intervals of this space to
+/// downstream instances.
+using KeyHash = uint64_t;
+
+inline constexpr InstanceId kInvalidInstance = UINT32_MAX;
+inline constexpr VmId kInvalidVm = UINT32_MAX;
+
+}  // namespace seep
+
+#endif  // SEEP_COMMON_IDS_H_

@@ -1,0 +1,51 @@
+#ifndef SEEP_COMMON_LOGGING_H_
+#define SEEP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/time.h"
+
+namespace seep {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Benches raise this to
+/// kWarn so figure output stays clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Builds one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, SimTime sim_time);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+// Logging with a simulated timestamp, e.g.:
+//   SEEP_LOG(kInfo, now) << "scaled out operator " << id;
+#define SEEP_LOG(level, sim_time)                                       \
+  if (::seep::LogLevel::level >= ::seep::GetLogLevel())                 \
+  ::seep::internal_logging::LogMessage(::seep::LogLevel::level,         \
+                                       __FILE__, __LINE__, (sim_time))
+
+}  // namespace seep
+
+#endif  // SEEP_COMMON_LOGGING_H_

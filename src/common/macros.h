@@ -1,0 +1,48 @@
+#ifndef SEEP_COMMON_MACROS_H_
+#define SEEP_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a message when `cond` is false. Used for invariant
+// violations that indicate programmer error, never for recoverable runtime
+// conditions (those return seep::Status).
+#define SEEP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SEEP_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SEEP_CHECK_OP(a, op, b) SEEP_CHECK((a)op(b))
+#define SEEP_CHECK_EQ(a, b) SEEP_CHECK_OP(a, ==, b)
+#define SEEP_CHECK_NE(a, b) SEEP_CHECK_OP(a, !=, b)
+#define SEEP_CHECK_LT(a, b) SEEP_CHECK_OP(a, <, b)
+#define SEEP_CHECK_LE(a, b) SEEP_CHECK_OP(a, <=, b)
+#define SEEP_CHECK_GT(a, b) SEEP_CHECK_OP(a, >, b)
+#define SEEP_CHECK_GE(a, b) SEEP_CHECK_OP(a, >=, b)
+
+// Propagates a non-OK Status from an expression to the caller.
+#define SEEP_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::seep::Status _seep_status = (expr);          \
+    if (!_seep_status.ok()) return _seep_status;   \
+  } while (0)
+
+// Evaluates a Result<T> expression and either assigns the value to `lhs` or
+// returns its error Status to the caller.
+#define SEEP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  SEEP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SEEP_CONCAT_(_seep_result_, __LINE__), lhs, expr)
+
+#define SEEP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SEEP_CONCAT_(a, b) SEEP_CONCAT_IMPL_(a, b)
+#define SEEP_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SEEP_COMMON_MACROS_H_

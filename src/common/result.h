@@ -1,0 +1,56 @@
+#ifndef SEEP_COMMON_RESULT_H_
+#define SEEP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace seep {
+
+/// A value-or-Status, the return type of fallible factory/lookup functions.
+/// Accessing value() on an error Result aborts (programmer error); callers
+/// are expected to test ok() or use SEEP_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse (`return value;` / `return Status::NotFound(...)`), matching the
+  /// Arrow/abseil StatusOr idiom.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SEEP_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    SEEP_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SEEP_CHECK(ok());
+    return *value_;
+  }
+  T value() && {
+    SEEP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace seep
+
+#endif  // SEEP_COMMON_RESULT_H_

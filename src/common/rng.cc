@@ -1,0 +1,46 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace seep {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  SEEP_CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996) over ranks
+  // 1..n, returned zero-based.
+  const double e = 1.0 - s;
+  auto h_integral = [&](double x) {
+    if (std::abs(e) < 1e-12) return std::log(x);
+    return (std::pow(x, e) - 1.0) / e;
+  };
+  auto h_integral_inverse = [&](double y) {
+    if (std::abs(e) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + e * y, 1.0 / e);
+  };
+  auto h = [&](double x) { return std::pow(x, -s); };
+
+  const double h_x1 = h_integral(1.5) - h(1.0);
+  const double h_n = h_integral(static_cast<double>(n) + 0.5);
+  const double h_half = h_integral(0.5);
+
+  while (true) {
+    const double u = h_half + NextDouble() * (h_n - h_half);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n)) k = static_cast<double>(n);
+    if (k - x <= h_x1 || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace seep

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace seep {
+
+SampleDistribution::SampleDistribution(size_t max_samples, uint64_t seed)
+    : max_samples_(max_samples), rng_state_(seed | 1) {
+  samples_.reserve(std::min<size_t>(max_samples_, 4096));
+}
+
+void SampleDistribution::Add(double value) {
+  if (total_count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_count_;
+  sum_ += value;
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(value);
+    sorted_ = false;
+    return;
+  }
+  // Reservoir replacement with probability max_samples / total_count.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const size_t slot = rng_state_ % total_count_;
+  if (slot < max_samples_) {
+    samples_[slot] = value;
+    sorted_ = false;
+  }
+}
+
+double SampleDistribution::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  SEEP_CHECK_GE(p, 0.0);
+  SEEP_CHECK_LE(p, 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+}
+
+double SampleDistribution::Mean() const {
+  return total_count_ == 0 ? 0 : sum_ / static_cast<double>(total_count_);
+}
+
+double SampleDistribution::Max() const { return total_count_ == 0 ? 0 : max_; }
+double SampleDistribution::Min() const { return total_count_ == 0 ? 0 : min_; }
+
+void SampleDistribution::Clear() {
+  total_count_ = 0;
+  sum_ = 0;
+  max_ = min_ = 0;
+  samples_.clear();
+  sorted_ = true;
+}
+
+double TimeSeries::Max() const {
+  double m = 0;
+  for (const Point& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::Bucketed(
+    SimTime bucket_width) const {
+  SEEP_CHECK_GT(bucket_width, 0);
+  std::vector<Point> out;
+  if (points_.empty()) return out;
+  SimTime bucket_start = 0;
+  double sum = 0;
+  size_t n = 0;
+  for (const Point& p : points_) {
+    while (p.time >= bucket_start + bucket_width) {
+      if (n > 0) {
+        out.push_back({bucket_start, sum / static_cast<double>(n)});
+        sum = 0;
+        n = 0;
+      }
+      bucket_start += bucket_width;
+    }
+    sum += p.value;
+    ++n;
+  }
+  if (n > 0) out.push_back({bucket_start, sum / static_cast<double>(n)});
+  return out;
+}
+
+void RateCounter::Add(SimTime t, uint64_t n) {
+  SEEP_CHECK_GE(t, 0);
+  const size_t bucket = static_cast<size_t>(t / bucket_width_);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  buckets_[bucket] += n;
+  total_ += n;
+}
+
+std::vector<TimeSeries::Point> RateCounter::RatesPerSecond() const {
+  std::vector<TimeSeries::Point> out;
+  out.reserve(buckets_.size());
+  const double scale =
+      static_cast<double>(kMicrosPerSecond) / static_cast<double>(bucket_width_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out.push_back({static_cast<SimTime>(i) * bucket_width_,
+                   static_cast<double>(buckets_[i]) * scale});
+  }
+  return out;
+}
+
+}  // namespace seep

@@ -1,0 +1,95 @@
+#ifndef SEEP_COMMON_STATS_H_
+#define SEEP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace seep {
+
+/// Accumulates scalar samples and answers percentile/mean queries. Samples
+/// are kept exactly up to `max_samples`, after which uniform reservoir
+/// sampling keeps the distribution estimate unbiased while bounding memory.
+class SampleDistribution {
+ public:
+  explicit SampleDistribution(size_t max_samples = 1 << 20,
+                              uint64_t seed = 0x5EED);
+
+  void Add(double value);
+
+  /// Percentile in [0, 100]. Returns 0 for an empty distribution.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double Mean() const;
+  double Max() const;
+  double Min() const;
+  size_t count() const { return total_count_; }
+  bool empty() const { return total_count_ == 0; }
+
+  void Clear();
+
+ private:
+  size_t max_samples_;
+  uint64_t rng_state_;
+  size_t total_count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+  double min_ = 0;
+  mutable bool sorted_ = true;
+  mutable std::vector<double> samples_;
+};
+
+/// A time series of (time, value) points, e.g. "number of VMs over time" or
+/// "throughput per second bucket". Used by benches to print figure rows.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  void Add(SimTime t, double v) { points_.push_back({t, v}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Last recorded value, or `fallback` when empty.
+  double Last(double fallback = 0) const {
+    return points_.empty() ? fallback : points_.back().value;
+  }
+
+  /// Maximum value over the series, or 0 when empty.
+  double Max() const;
+
+  /// Averages values into fixed-width time buckets; used to downsample dense
+  /// series when printing figures.
+  std::vector<Point> Bucketed(SimTime bucket_width) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Counts events per fixed-width time bucket (e.g. tuples per second).
+class RateCounter {
+ public:
+  explicit RateCounter(SimTime bucket_width = kMicrosPerSecond)
+      : bucket_width_(bucket_width) {}
+
+  void Add(SimTime t, uint64_t n = 1);
+
+  /// Per-bucket rates scaled to events/second.
+  std::vector<TimeSeries::Point> RatesPerSecond() const;
+
+  uint64_t total() const { return total_; }
+  SimTime bucket_width() const { return bucket_width_; }
+
+ private:
+  SimTime bucket_width_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace seep
+
+#endif  // SEEP_COMMON_STATS_H_

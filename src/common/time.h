@@ -1,0 +1,38 @@
+#ifndef SEEP_COMMON_TIME_H_
+#define SEEP_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace seep {
+
+/// Simulated time in microseconds since simulation start. All timing in the
+/// library is expressed in SimTime; there is no wall-clock dependence, which
+/// is what makes runs bit-reproducible.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMicrosPerMilli = 1'000;
+inline constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+/// Converts seconds (possibly fractional) to SimTime microseconds.
+constexpr SimTime SecondsToSim(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kMicrosPerSecond));
+}
+
+/// Converts SimTime microseconds to fractional seconds.
+constexpr double SimToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Converts milliseconds to SimTime microseconds.
+constexpr SimTime MillisToSim(double millis) {
+  return static_cast<SimTime>(millis * static_cast<double>(kMicrosPerMilli));
+}
+
+/// Converts SimTime microseconds to fractional milliseconds.
+constexpr double SimToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerMilli);
+}
+
+}  // namespace seep
+
+#endif  // SEEP_COMMON_TIME_H_

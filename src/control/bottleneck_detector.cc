@@ -1,0 +1,96 @@
+#include "control/bottleneck_detector.h"
+
+#include "common/logging.h"
+
+namespace seep::control {
+
+void BottleneckDetector::Start() {
+  if (!config_.enabled) return;
+  cluster_->simulation()->Schedule(config_.report_interval, [this]() {
+    CollectReports();
+    Start();
+  });
+}
+
+void BottleneckDetector::CollectReports() {
+  const double interval_us = static_cast<double>(config_.report_interval);
+  size_t vms_in_use = 0;
+  for (const auto& [id, inst] : cluster_->instances()) {
+    if (inst->alive() && !inst->stopped()) ++vms_in_use;
+  }
+
+  // Aggregate the CPU reports per logical operator (paper §5.1: "when k
+  // consecutive reports from an operator are above a threshold δ"). Scaling
+  // on the operator's AVERAGE utilisation is self-damping: the transient
+  // 100% catch-up burn of a freshly split partition barely moves the
+  // average, whereas a genuinely rising workload lifts every partition.
+  std::map<OperatorId, OpLoad> op_loads;
+
+  for (const auto& [id, inst] : cluster_->instances()) {
+    if (!inst->alive() || inst->stopped()) continue;
+    const double utilization = inst->TakeBusyMicros() / interval_us;
+    if (!inst->spec().scalable) continue;
+    OpLoad& load = op_loads[inst->op()];
+    load.total_util += utilization;
+    ++load.partitions;
+    if (utilization >= load.max_util) {
+      load.max_util = utilization;
+      load.hottest = id;
+    }
+  }
+
+  for (const auto& [op, load] : op_loads) {
+    const double avg_util =
+        load.total_util / static_cast<double>(load.partitions);
+    int& above = consecutive_above_[op];
+    if (avg_util > config_.threshold ||
+        load.max_util > config_.saturation_threshold) {
+      ++above;
+    } else {
+      above = 0;
+      continue;
+    }
+    if (above < config_.consecutive_reports) continue;
+    if (coordinator_->InProgress(op)) continue;
+    if (vms_in_use >= config_.max_vms) continue;
+    auto last = last_scale_out_.find(op);
+    if (last != last_scale_out_.end() &&
+        cluster_->Now() - last->second < config_.per_op_cooldown) {
+      continue;
+    }
+    last_scale_out_[op] = cluster_->Now();
+    above = 0;
+    ++requests_;
+    ++vms_in_use;
+    SEEP_LOG(kInfo, cluster_->Now())
+        << "bottleneck: op " << op << " at " << avg_util * 100
+        << "% average CPU over " << load.partitions
+        << " partitions; scaling out instance " << load.hottest;
+    // Partition the hottest instance (Fig. 3's incremental refinement).
+    coordinator_->ScaleOutInstance(load.hottest, /*pi=*/2,
+                                   /*recovery=*/false);
+  }
+
+  if (config_.scale_in_enabled) ConsiderScaleIn(op_loads);
+}
+
+void BottleneckDetector::ConsiderScaleIn(
+    const std::map<OperatorId, OpLoad>& op_loads) {
+  for (const auto& [op, load] : op_loads) {
+    const auto& [total_util, max_util, partitions, hottest] = load;
+    if (partitions < 2 || max_util >= config_.scale_in_threshold) {
+      consecutive_idle_[op] = 0;
+      continue;
+    }
+    if (++consecutive_idle_[op] < config_.scale_in_consecutive) continue;
+    if (coordinator_->InProgress(op)) continue;
+    consecutive_idle_[op] = 0;
+    ++scale_in_requests_;
+    SEEP_LOG(kInfo, cluster_->Now())
+        << "op " << op << " under-utilised (" << max_util * 100
+        << "% max across " << partitions << " partitions); scaling in";
+    coordinator_->ScaleIn(op);
+  }
+}
+
+}  // namespace seep::control

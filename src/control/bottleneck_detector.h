@@ -1,0 +1,81 @@
+#ifndef SEEP_CONTROL_BOTTLENECK_DETECTOR_H_
+#define SEEP_CONTROL_BOTTLENECK_DETECTOR_H_
+
+#include <map>
+
+#include "control/scale_out_coordinator.h"
+#include "runtime/cluster.h"
+
+namespace seep::control {
+
+/// The paper's scaling policy (§5.1): CPU-utilisation reports every r
+/// seconds; an operator instance whose utilisation exceeds δ for k
+/// consecutive reports is a bottleneck and gets partitioned.
+struct ScalingPolicyConfig {
+  SimTime report_interval = SecondsToSim(5);  // r
+  int consecutive_reports = 2;                // k
+  double threshold = 0.70;                    // δ
+  /// Secondary per-instance trigger: even when the operator's average is
+  /// healthy, one saturated partition (repeated binary splits leave ranges
+  /// of unequal width) is a real bottleneck and must be split.
+  double saturation_threshold = 0.95;
+  /// Hard cap on VMs hosting instances (cluster budget).
+  size_t max_vms = 80;
+  /// Minimum time between successive scale-outs of the same operator.
+  /// Right after a split, the new partitions run at 100% CPU while they
+  /// catch up on replayed tuples; without a cooldown this transient load
+  /// masquerades as a persistent bottleneck and triggers a split storm.
+  SimTime per_op_cooldown = SecondsToSim(15);
+  bool enabled = true;
+
+  /// Elastic scale-in (the paper's §8 future work): when EVERY partition of
+  /// an operator stays below `scale_in_threshold` for
+  /// `scale_in_consecutive` reports, two adjacent partitions are merged and
+  /// a VM released. The merged partition's load is the sum of two, so the
+  /// threshold must be below half the scale-out threshold to avoid
+  /// oscillation.
+  bool scale_in_enabled = false;
+  double scale_in_threshold = 0.25;
+  int scale_in_consecutive = 6;
+};
+
+/// Collects per-instance CPU utilisation reports and drives the scale-out
+/// coordinator when a compute bottleneck is detected.
+class BottleneckDetector {
+ public:
+  BottleneckDetector(runtime::Cluster* cluster,
+                     ScaleOutCoordinator* coordinator,
+                     ScalingPolicyConfig config)
+      : cluster_(cluster), coordinator_(coordinator), config_(config) {}
+
+  /// Starts the periodic report collection loop.
+  void Start();
+
+  size_t scale_out_requests() const { return requests_; }
+  size_t scale_in_requests() const { return scale_in_requests_; }
+
+ private:
+  /// One report round's aggregated load of a logical operator.
+  struct OpLoad {
+    double total_util = 0;
+    double max_util = 0;
+    size_t partitions = 0;
+    InstanceId hottest = kInvalidInstance;
+  };
+
+  void CollectReports();
+  void ConsiderScaleIn(const std::map<OperatorId, OpLoad>& op_loads);
+
+  runtime::Cluster* cluster_;
+  ScaleOutCoordinator* coordinator_;
+  ScalingPolicyConfig config_;
+  std::map<OperatorId, int> consecutive_above_;
+  std::map<OperatorId, int> consecutive_idle_;
+  std::map<OperatorId, SimTime> last_scale_out_;
+  size_t requests_ = 0;
+  size_t scale_in_requests_ = 0;
+};
+
+}  // namespace seep::control
+
+#endif  // SEEP_CONTROL_BOTTLENECK_DETECTOR_H_

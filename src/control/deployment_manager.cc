@@ -1,0 +1,48 @@
+#include "control/deployment_manager.h"
+
+namespace seep::control {
+
+Status DeploymentManager::DeployAll(
+    const std::map<OperatorId, uint32_t>& initial_parallelism) {
+  const core::QueryGraph* graph = cluster_->graph();
+  SEEP_RETURN_IF_ERROR(graph->Validate());
+
+  std::vector<InstanceId> to_start;
+  for (const core::OperatorSpec& spec : graph->operators()) {
+    uint32_t count = 1;
+    if (spec.kind == core::VertexKind::kSource) {
+      count = spec.source_parallelism;
+    } else if (auto it = initial_parallelism.find(spec.id);
+               it != initial_parallelism.end() && spec.scalable) {
+      count = std::max<uint32_t>(1, it->second);
+    }
+    const std::vector<core::KeyRange> ranges =
+        core::KeyRange::Full().SplitEven(count);
+    std::vector<core::RoutingState::Route> routes;
+    for (uint32_t i = 0; i < count; ++i) {
+      const VmId vm = cluster_->provider()->RequestVmImmediate();
+      SEEP_RETURN_IF_ERROR(cluster_->provider()->MarkInUse(vm));
+      // Sources partition the offered load by index; everything else
+      // partitions the key space.
+      const core::KeyRange range = spec.kind == core::VertexKind::kSource
+                                       ? core::KeyRange::Full()
+                                       : ranges[i];
+      auto deployed = cluster_->DeployInstance(spec.id, vm, range, i, count);
+      if (!deployed.ok()) return deployed.status();
+      to_start.push_back(deployed.value());
+      routes.push_back({range, deployed.value()});
+    }
+    // Sources receive no tuples, so only non-sources need routes; setting
+    // them uniformly is harmless and keeps the table complete.
+    if (spec.kind != core::VertexKind::kSource) {
+      cluster_->routing()->SetRoutes(spec.id, std::move(routes));
+    }
+  }
+
+  cluster_->pool()->PrefillImmediate();
+  for (InstanceId id : to_start) cluster_->GetInstance(id)->Start();
+  cluster_->RecordVmsInUse();
+  return Status::OK();
+}
+
+}  // namespace seep::control

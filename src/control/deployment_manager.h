@@ -1,0 +1,35 @@
+#ifndef SEEP_CONTROL_DEPLOYMENT_MANAGER_H_
+#define SEEP_CONTROL_DEPLOYMENT_MANAGER_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "runtime/cluster.h"
+
+namespace seep::control {
+
+/// Maps the logical query graph onto VMs and starts processing (paper §5:
+/// "the execution graph is used by a deployment manager to initialise VMs,
+/// deploy operators, set up stream communication and start processing").
+/// Initial deployment provisions VMs synchronously — it happens before the
+/// measured run — and pre-fills the VM pool.
+class DeploymentManager {
+ public:
+  explicit DeploymentManager(runtime::Cluster* cluster) : cluster_(cluster) {}
+
+  /// Deploys the execution graph, sets routing, and starts everything.
+  /// By default each logical operator gets one instance (paper §2.2:
+  /// initially "the execution graph has one operator for each logical
+  /// operator"); `initial_parallelism` overrides this per operator with an
+  /// even key-range split — the static/manual deployment of the Fig. 10
+  /// experiment. Sources deploy their configured source_parallelism.
+  Status DeployAll(
+      const std::map<OperatorId, uint32_t>& initial_parallelism = {});
+
+ private:
+  runtime::Cluster* cluster_;
+};
+
+}  // namespace seep::control
+
+#endif  // SEEP_CONTROL_DEPLOYMENT_MANAGER_H_

@@ -1,0 +1,208 @@
+#include "control/recovery_coordinator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seep::control {
+
+void RecoveryCoordinator::Start() {
+  if (!detector_config_.enabled) return;
+  cluster_->simulation()->Schedule(detector_config_.heartbeat_interval,
+                                   [this]() {
+                                     Poll();
+                                     Start();
+                                   });
+}
+
+void RecoveryCoordinator::Poll() {
+  for (const auto& [id, inst] : cluster_->instances()) {
+    if (inst->alive() || inst->stopped() || handled_.contains(id)) continue;
+    // Only current members of an operator need recovery; retired tombstones
+    // were already replaced.
+    const auto members = cluster_->InstancesOf(inst->op());
+    if (std::find(members.begin(), members.end(), id) == members.end()) {
+      continue;
+    }
+    if (++missed_[id] < detector_config_.missed_heartbeats) continue;
+    handled_.insert(id);
+    Recover(id);
+  }
+}
+
+void RecoveryCoordinator::Recover(InstanceId failed) {
+  runtime::OperatorInstance* inst = cluster_->GetInstance(failed);
+  if (inst == nullptr || inst->alive()) return;
+  handled_.insert(failed);
+
+  runtime::RecoveryEvent event;
+  event.op = inst->op();
+  event.failed_instance = failed;
+  event.failed_at = inst->died_at();
+  event.detected_at = cluster_->Now();
+  event.parallelism = recovery_config_.parallelism;
+  cluster_->metrics()->recoveries.push_back(event);
+  const size_t index = cluster_->metrics()->recoveries.size() - 1;
+
+  SEEP_LOG(kInfo, cluster_->Now())
+      << "recovering instance " << failed << " of op '"
+      << inst->spec().name << "'";
+
+  switch (cluster_->config().ft_mode) {
+    case runtime::FaultToleranceMode::kStateManagement:
+      RecoverStateManagement(failed, index);
+      break;
+    case runtime::FaultToleranceMode::kUpstreamBackup:
+      RecoverUpstreamBackup(failed, index);
+      break;
+    case runtime::FaultToleranceMode::kSourceReplay:
+      RecoverSourceReplay(failed, index);
+      break;
+    case runtime::FaultToleranceMode::kNone:
+      break;  // no recovery; the query stays degraded
+  }
+}
+
+void RecoveryCoordinator::RecoverStateManagement(InstanceId failed,
+                                                 size_t event_index) {
+  // The paper's integrated path: recovery IS scale-out, at parallelism 1
+  // (serial) or >= 2 (parallel recovery).
+  ScaleOutCoordinator::Callbacks callbacks;
+  auto* metrics = cluster_->metrics();
+  callbacks.on_restored = [metrics, event_index](SimTime at) {
+    metrics->recoveries[event_index].restored_at = at;
+  };
+  callbacks.on_caught_up = [metrics, event_index](SimTime at) {
+    metrics->recoveries[event_index].caught_up_at = at;
+  };
+  callbacks.on_done = [this, failed, event_index](Status status) {
+    if (status.ok()) return;
+    // Abort (e.g. another operation in flight, or the backup holder also
+    // failed): retry shortly, per the paper's §4.3 discussion.
+    cluster_->simulation()->Schedule(SecondsToSim(1), [this, failed,
+                                                       event_index]() {
+      RecoverStateManagement(failed, event_index);
+    });
+  };
+  coordinator_->ScaleOutInstance(failed, recovery_config_.parallelism,
+                                 /*recovery=*/true, std::move(callbacks));
+}
+
+void RecoveryCoordinator::RecoverUpstreamBackup(InstanceId failed,
+                                                size_t event_index) {
+  runtime::OperatorInstance* dead = cluster_->GetInstance(failed);
+  const OperatorId op = dead->op();
+  const core::KeyRange range = dead->key_range();
+  auto* metrics = cluster_->metrics();
+
+  cluster_->pool()->Acquire([this, op, range, failed, event_index,
+                             metrics](VmId vm) {
+    auto deployed = cluster_->DeployInstance(op, vm, range);
+    SEEP_CHECK(deployed.ok());
+    const InstanceId new_id = deployed.value();
+    runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
+    inst->Start();
+    metrics->recoveries[event_index].restored_at = cluster_->Now();
+
+    cluster_->RetireInstance(failed, /*release_vm=*/false);
+    std::vector<core::RoutingState::Route> routes;
+    for (InstanceId id : cluster_->InstancesOf(op)) {
+      routes.push_back({cluster_->GetInstance(id)->key_range(), id});
+    }
+    cluster_->routing()->SetRoutes(op, std::move(routes));
+
+    // Upstream backup: every upstream instance replays its (window-length)
+    // buffer; the replacement rebuilds state by re-processing it all.
+    std::vector<InstanceId> upstream = cluster_->UpstreamInstancesOf(op);
+    const uint64_t fence = cluster_->RegisterFence(
+        static_cast<int>(upstream.size()), {new_id},
+        [metrics, event_index](SimTime at) {
+          metrics->recoveries[event_index].caught_up_at = at;
+        });
+    for (InstanceId uid : upstream) {
+      cluster_->GetInstance(uid)->ReplayBuffer(op, INT64_MIN, {new_id},
+                                               fence);
+    }
+  });
+}
+
+void RecoveryCoordinator::RecoverSourceReplay(InstanceId failed,
+                                              size_t event_index) {
+  runtime::OperatorInstance* dead = cluster_->GetInstance(failed);
+  const OperatorId op = dead->op();
+  const core::KeyRange range = dead->key_range();
+  auto* metrics = cluster_->metrics();
+
+  cluster_->pool()->Acquire([this, op, range, failed, event_index,
+                             metrics](VmId vm) {
+    auto deployed = cluster_->DeployInstance(op, vm, range);
+    SEEP_CHECK(deployed.ok());
+    const InstanceId new_id = deployed.value();
+    cluster_->GetInstance(new_id)->Start();
+    metrics->recoveries[event_index].restored_at = cluster_->Now();
+
+    cluster_->RetireInstance(failed, /*release_vm=*/false);
+    std::vector<core::RoutingState::Route> routes;
+    for (InstanceId id : cluster_->InstancesOf(op)) {
+      routes.push_back({cluster_->GetInstance(id)->key_range(), id});
+    }
+    cluster_->routing()->SetRoutes(op, std::move(routes));
+
+    // Source replay: pause generation, reset the whole pipeline, and
+    // recompute everything from the sources' buffered history [29].
+    std::vector<InstanceId> source_instances;
+    for (const auto& [id, inst] : cluster_->instances()) {
+      if (!inst->alive() || inst->stopped()) continue;
+      if (inst->spec().kind == core::VertexKind::kSource) {
+        inst->Pause();
+        source_instances.push_back(id);
+      } else if (inst->spec().kind == core::VertexKind::kOperator) {
+        inst->ResetEmpty(cluster_->NewOrigin());
+      }
+    }
+
+    const int expected = ExpectedSourceFences(op);
+    const uint64_t fence = cluster_->RegisterFence(
+        expected, {new_id},
+        [this, metrics, event_index, source_instances](SimTime at) {
+          metrics->recoveries[event_index].caught_up_at = at;
+          for (InstanceId sid : source_instances) {
+            runtime::OperatorInstance* s = cluster_->GetInstance(sid);
+            if (s != nullptr) s->Resume();
+          }
+        });
+    for (InstanceId sid : source_instances) {
+      runtime::OperatorInstance* s = cluster_->GetInstance(sid);
+      for (OperatorId down : cluster_->graph()->Downstream(s->op())) {
+        s->ReplayBuffer(down, INT64_MIN, cluster_->LiveInstancesOf(down),
+                        fence);
+      }
+    }
+  });
+}
+
+int RecoveryCoordinator::ExpectedSourceFences(OperatorId target_op) const {
+  // Fences multiply at each hop: a processed fence is forwarded to every
+  // live instance of every downstream operator. outflow(u) is the number of
+  // fences each downstream *instance* of u will receive from u's side.
+  const core::QueryGraph* graph = cluster_->graph();
+  std::map<OperatorId, int> outflow;
+  for (OperatorId id : graph->TopologicalOrder()) {
+    const core::OperatorSpec* spec = graph->Get(id);
+    if (spec->kind == core::VertexKind::kSource) {
+      outflow[id] = static_cast<int>(cluster_->LiveInstancesOf(id).size());
+      continue;
+    }
+    int arriving_per_instance = 0;
+    for (OperatorId up : graph->Upstream(id)) {
+      arriving_per_instance += outflow[up];
+    }
+    if (id == target_op) return arriving_per_instance;
+    // Every instance of this operator forwards each fence it processes.
+    outflow[id] = arriving_per_instance *
+                  static_cast<int>(cluster_->LiveInstancesOf(id).size());
+  }
+  return 0;
+}
+
+}  // namespace seep::control

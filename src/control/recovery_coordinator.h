@@ -1,0 +1,69 @@
+#ifndef SEEP_CONTROL_RECOVERY_COORDINATOR_H_
+#define SEEP_CONTROL_RECOVERY_COORDINATOR_H_
+
+#include <set>
+
+#include "control/scale_out_coordinator.h"
+#include "runtime/cluster.h"
+
+namespace seep::control {
+
+struct FailureDetectorConfig {
+  /// Liveness-probe period; crash-stops are suspected after
+  /// `missed_heartbeats` consecutive missed probes (paper §4.2: the SPS
+  /// simply scales out an operator that "has become unresponsive").
+  SimTime heartbeat_interval = MillisToSim(500);
+  int missed_heartbeats = 2;
+  bool enabled = true;
+};
+
+struct RecoveryConfig {
+  /// Parallelisation level of recovery: 1 = serial, >= 2 = parallel
+  /// recovery (§4.2/§6.2).
+  uint32_t parallelism = 1;
+};
+
+/// Watches for failed operator instances and restores them using the
+/// configured fault-tolerance mechanism. With R+SM, recovery is literally a
+/// call into the scale-out coordinator; the UB/SR baselines implement the
+/// replay-based schemes the paper compares against (Fig. 11).
+class RecoveryCoordinator {
+ public:
+  RecoveryCoordinator(runtime::Cluster* cluster,
+                      ScaleOutCoordinator* coordinator,
+                      FailureDetectorConfig detector_config,
+                      RecoveryConfig recovery_config)
+      : cluster_(cluster),
+        coordinator_(coordinator),
+        detector_config_(detector_config),
+        recovery_config_(recovery_config) {}
+
+  /// Starts the failure-detector polling loop.
+  void Start();
+
+  /// Immediately triggers recovery of a failed instance (tests use this to
+  /// bypass detection latency).
+  void Recover(InstanceId failed);
+
+ private:
+  void Poll();
+  void RecoverStateManagement(InstanceId failed, size_t event_index);
+  void RecoverUpstreamBackup(InstanceId failed, size_t event_index);
+  void RecoverSourceReplay(InstanceId failed, size_t event_index);
+
+  /// Expected number of fence deliveries at the replacement when each source
+  /// instance fences its replay and intermediate instances forward fences to
+  /// every downstream instance.
+  int ExpectedSourceFences(OperatorId target_op) const;
+
+  runtime::Cluster* cluster_;
+  ScaleOutCoordinator* coordinator_;
+  FailureDetectorConfig detector_config_;
+  RecoveryConfig recovery_config_;
+  std::map<InstanceId, int> missed_;
+  std::set<InstanceId> handled_;
+};
+
+}  // namespace seep::control
+
+#endif  // SEEP_CONTROL_RECOVERY_COORDINATOR_H_

@@ -1,0 +1,41 @@
+#include "core/key_range.h"
+
+namespace seep::core {
+
+std::vector<KeyRange> KeyRange::SplitEven(uint32_t n) const {
+  SEEP_CHECK_GT(n, 0u);
+  SEEP_CHECK_LE(lo, hi);
+  std::vector<KeyRange> out;
+  out.reserve(n);
+  if (n == 1) {
+    out.push_back(*this);
+    return out;
+  }
+  // Compute per-part width with rounding spread across the first parts, in
+  // 128-bit arithmetic to handle the full 64-bit space.
+  const unsigned __int128 total =
+      static_cast<unsigned __int128>(hi) - lo + 1;
+  unsigned __int128 start = lo;
+  for (uint32_t i = 0; i < n; ++i) {
+    unsigned __int128 part = total / n + (i < total % n ? 1 : 0);
+    if (part == 0) {
+      // More parts than keys: give remaining parts empty-equivalent single
+      // keys clamped at hi. Callers never split tiny ranges in practice.
+      out.push_back(KeyRange{static_cast<KeyHash>(hi), hi});
+      continue;
+    }
+    const KeyHash part_lo = static_cast<KeyHash>(start);
+    const KeyHash part_hi = static_cast<KeyHash>(start + part - 1);
+    out.push_back(KeyRange{part_lo, part_hi});
+    start += part;
+  }
+  out.back().hi = hi;
+  return out;
+}
+
+KeyRange KeyRange::MergeAdjacent(const KeyRange& a, const KeyRange& b) {
+  SEEP_CHECK(a.hi != UINT64_MAX && a.hi + 1 == b.lo);
+  return KeyRange{a.lo, b.hi};
+}
+
+}  // namespace seep::core

@@ -1,0 +1,161 @@
+#include "core/query_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace seep::core {
+
+OperatorId QueryGraph::AddSource(std::string name, SourceFactory factory,
+                                 double cost_us, uint32_t parallelism) {
+  OperatorSpec spec;
+  spec.id = NextId();
+  spec.name = std::move(name);
+  spec.kind = VertexKind::kSource;
+  spec.source_factory = std::move(factory);
+  spec.endpoint_cost_us = cost_us;
+  spec.scalable = false;
+  spec.source_parallelism = parallelism == 0 ? 1 : parallelism;
+  operators_.push_back(std::move(spec));
+  return operators_.back().id;
+}
+
+OperatorId QueryGraph::AddOperator(std::string name, OperatorFactory factory,
+                                   bool stateful, bool scalable) {
+  OperatorSpec spec;
+  spec.id = NextId();
+  spec.name = std::move(name);
+  spec.kind = VertexKind::kOperator;
+  spec.factory = std::move(factory);
+  spec.stateful = stateful;
+  spec.scalable = scalable;
+  operators_.push_back(std::move(spec));
+  return operators_.back().id;
+}
+
+OperatorId QueryGraph::AddSink(std::string name, SinkFactory factory,
+                               double cost_us) {
+  OperatorSpec spec;
+  spec.id = NextId();
+  spec.name = std::move(name);
+  spec.kind = VertexKind::kSink;
+  spec.sink_factory = std::move(factory);
+  spec.endpoint_cost_us = cost_us;
+  spec.scalable = false;
+  operators_.push_back(std::move(spec));
+  return operators_.back().id;
+}
+
+Status QueryGraph::Connect(OperatorId from, OperatorId to) {
+  if (from >= operators_.size() || to >= operators_.size()) {
+    return Status::InvalidArgument("unknown operator id in Connect");
+  }
+  if (from == to) return Status::InvalidArgument("self loop");
+  if (operators_[from].kind == VertexKind::kSink) {
+    return Status::InvalidArgument("sink cannot have outputs");
+  }
+  if (operators_[to].kind == VertexKind::kSource) {
+    return Status::InvalidArgument("source cannot have inputs");
+  }
+  downstream_[from].push_back(to);
+  upstream_[to].push_back(from);
+  return Status::OK();
+}
+
+Status QueryGraph::Validate() const {
+  if (operators_.empty()) return Status::InvalidArgument("empty query");
+  // Kahn's algorithm doubles as the cycle check.
+  std::map<OperatorId, size_t> indegree;
+  for (const auto& spec : operators_) indegree[spec.id] = 0;
+  for (const auto& [from, tos] : downstream_) {
+    for (OperatorId to : tos) ++indegree[to];
+  }
+  std::deque<OperatorId> frontier;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) {
+      if (operators_[id].kind != VertexKind::kSource) {
+        return Status::InvalidArgument(
+            "operator '" + operators_[id].name + "' has no inputs");
+      }
+      frontier.push_back(id);
+    }
+  }
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    OperatorId id = frontier.front();
+    frontier.pop_front();
+    ++visited;
+    auto it = downstream_.find(id);
+    if (it == downstream_.end()) {
+      if (operators_[id].kind != VertexKind::kSink) {
+        return Status::InvalidArgument(
+            "operator '" + operators_[id].name + "' has no outputs");
+      }
+      continue;
+    }
+    for (OperatorId to : it->second) {
+      if (--indegree[to] == 0) frontier.push_back(to);
+    }
+  }
+  if (visited != operators_.size()) {
+    return Status::InvalidArgument("query graph has a cycle");
+  }
+  return Status::OK();
+}
+
+const OperatorSpec* QueryGraph::Get(OperatorId id) const {
+  return id < operators_.size() ? &operators_[id] : nullptr;
+}
+
+const std::vector<OperatorId>& QueryGraph::Downstream(OperatorId id) const {
+  static const std::vector<OperatorId> kEmpty;
+  auto it = downstream_.find(id);
+  return it == downstream_.end() ? kEmpty : it->second;
+}
+
+const std::vector<OperatorId>& QueryGraph::Upstream(OperatorId id) const {
+  static const std::vector<OperatorId> kEmpty;
+  auto it = upstream_.find(id);
+  return it == upstream_.end() ? kEmpty : it->second;
+}
+
+std::vector<OperatorId> QueryGraph::Sources() const {
+  std::vector<OperatorId> out;
+  for (const auto& spec : operators_) {
+    if (spec.kind == VertexKind::kSource) out.push_back(spec.id);
+  }
+  return out;
+}
+
+std::vector<OperatorId> QueryGraph::Sinks() const {
+  std::vector<OperatorId> out;
+  for (const auto& spec : operators_) {
+    if (spec.kind == VertexKind::kSink) out.push_back(spec.id);
+  }
+  return out;
+}
+
+std::vector<OperatorId> QueryGraph::TopologicalOrder() const {
+  std::map<OperatorId, size_t> indegree;
+  for (const auto& spec : operators_) indegree[spec.id] = 0;
+  for (const auto& [from, tos] : downstream_) {
+    for (OperatorId to : tos) ++indegree[to];
+  }
+  std::deque<OperatorId> frontier;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) frontier.push_back(id);
+  }
+  std::vector<OperatorId> order;
+  while (!frontier.empty()) {
+    OperatorId id = frontier.front();
+    frontier.pop_front();
+    order.push_back(id);
+    auto it = downstream_.find(id);
+    if (it == downstream_.end()) continue;
+    for (OperatorId to : it->second) {
+      if (--indegree[to] == 0) frontier.push_back(to);
+    }
+  }
+  return order;
+}
+
+}  // namespace seep::core

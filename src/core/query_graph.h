@@ -1,0 +1,91 @@
+#ifndef SEEP_CORE_QUERY_GRAPH_H_
+#define SEEP_CORE_QUERY_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/operator.h"
+
+namespace seep::core {
+
+/// Role of a vertex in the query graph. Sources and sinks are assumed not to
+/// fail and are never scaled out (paper §2.2).
+enum class VertexKind { kSource, kOperator, kSink };
+
+/// A logical operator in the query graph q = (O, S) (paper §2.2).
+struct OperatorSpec {
+  OperatorId id = 0;
+  std::string name;
+  VertexKind kind = VertexKind::kOperator;
+  bool stateful = false;
+
+  // Exactly one of the factories is set, matching `kind`.
+  OperatorFactory factory;
+  SourceFactory source_factory;
+  SinkFactory sink_factory;
+
+  /// Per-tuple CPU cost on the reference core for sources/sinks
+  /// (serialisation work); operators report their own cost via
+  /// Operator::CostMicrosPerTuple.
+  double endpoint_cost_us = 1.0;
+
+  /// Whether the scaling policy may parallelise this operator.
+  bool scalable = true;
+
+  /// Number of parallel source instances to deploy (sources only; the
+  /// paper's top-k workload uses 18 data sources).
+  uint32_t source_parallelism = 1;
+};
+
+/// The logical, user-facing description of a streaming query: a DAG of
+/// operator specs. The physical realisation (partitioned instances on VMs)
+/// is the execution graph owned by the query manager.
+class QueryGraph {
+ public:
+  /// Adds a source vertex. `cost_us` models per-tuple serialisation cost;
+  /// `parallelism` is the number of source instances to deploy.
+  OperatorId AddSource(std::string name, SourceFactory factory,
+                       double cost_us = 1.0, uint32_t parallelism = 1);
+
+  /// Adds a processing operator vertex.
+  OperatorId AddOperator(std::string name, OperatorFactory factory,
+                         bool stateful, bool scalable = true);
+
+  /// Adds a sink vertex.
+  OperatorId AddSink(std::string name, SinkFactory factory,
+                     double cost_us = 1.0);
+
+  /// Adds a stream s = (from, to). The order of Connect calls per `from`
+  /// defines the emission port numbering seen by Collector::EmitTo.
+  Status Connect(OperatorId from, OperatorId to);
+
+  /// Checks the graph is a DAG, every operator is reachable from a source,
+  /// sources have no inputs, sinks no outputs.
+  Status Validate() const;
+
+  const OperatorSpec* Get(OperatorId id) const;
+  const std::vector<OperatorSpec>& operators() const { return operators_; }
+
+  const std::vector<OperatorId>& Downstream(OperatorId id) const;
+  const std::vector<OperatorId>& Upstream(OperatorId id) const;
+
+  std::vector<OperatorId> Sources() const;
+  std::vector<OperatorId> Sinks() const;
+
+  /// Operators in a topological order (sources first). Requires Validate().
+  std::vector<OperatorId> TopologicalOrder() const;
+
+ private:
+  OperatorId NextId() { return static_cast<OperatorId>(operators_.size()); }
+
+  std::vector<OperatorSpec> operators_;
+  std::map<OperatorId, std::vector<OperatorId>> downstream_;
+  std::map<OperatorId, std::vector<OperatorId>> upstream_;
+};
+
+}  // namespace seep::core
+
+#endif  // SEEP_CORE_QUERY_GRAPH_H_

@@ -1,0 +1,281 @@
+#include "core/state.h"
+
+#include <algorithm>
+
+#include "serde/frame.h"
+
+namespace seep::core {
+
+// ---------------------------------------------------------------- Processing
+
+ProcessingState ProcessingState::FilterByRange(const KeyRange& range) const {
+  ProcessingState out;
+  for (const Entry& e : entries_) {
+    if (range.Contains(e.first)) out.Add(e.first, e.second);
+  }
+  return out;
+}
+
+void ProcessingState::MergeFrom(const ProcessingState& other) {
+  for (const Entry& e : other.entries_) Add(e.first, e.second);
+}
+
+void ProcessingState::Encode(serde::Encoder* enc) const {
+  enc->AppendVarint64(entries_.size());
+  for (const Entry& e : entries_) {
+    enc->AppendFixed64(e.first);
+    enc->AppendString(e.second);
+  }
+}
+
+Result<ProcessingState> ProcessingState::Decode(serde::Decoder* dec) {
+  ProcessingState out;
+  uint64_t n;
+  SEEP_ASSIGN_OR_RETURN(n, dec->ReadVarint64());
+  for (uint64_t i = 0; i < n; ++i) {
+    KeyHash k;
+    SEEP_ASSIGN_OR_RETURN(k, dec->ReadFixed64());
+    std::string v;
+    SEEP_ASSIGN_OR_RETURN(v, dec->ReadString());
+    out.Add(k, std::move(v));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ Positions
+
+bool InputPositions::Advance(OriginId origin, int64_t timestamp) {
+  auto [it, inserted] = positions_.try_emplace(origin, timestamp);
+  if (inserted) return true;
+  if (timestamp <= it->second) return false;
+  it->second = timestamp;
+  return true;
+}
+
+int64_t InputPositions::Get(OriginId origin) const {
+  auto it = positions_.find(origin);
+  return it == positions_.end() ? -1 : it->second;
+}
+
+void InputPositions::LowerBoundWith(const InputPositions& other) {
+  for (const auto& [origin, ts] : other.positions_) {
+    auto [it, inserted] = positions_.try_emplace(origin, ts);
+    if (!inserted) it->second = std::min(it->second, ts);
+  }
+}
+
+void InputPositions::UpperBoundWith(const InputPositions& other) {
+  for (const auto& [origin, ts] : other.positions_) {
+    auto [it, inserted] = positions_.try_emplace(origin, ts);
+    if (!inserted) it->second = std::max(it->second, ts);
+  }
+}
+
+void InputPositions::Encode(serde::Encoder* enc) const {
+  enc->AppendVarint64(positions_.size());
+  for (const auto& [origin, ts] : positions_) {
+    enc->AppendFixed64(origin);
+    enc->AppendVarintSigned64(ts);
+  }
+}
+
+Result<InputPositions> InputPositions::Decode(serde::Decoder* dec) {
+  InputPositions out;
+  uint64_t n;
+  SEEP_ASSIGN_OR_RETURN(n, dec->ReadVarint64());
+  for (uint64_t i = 0; i < n; ++i) {
+    OriginId origin;
+    SEEP_ASSIGN_OR_RETURN(origin, dec->ReadFixed64());
+    int64_t ts;
+    SEEP_ASSIGN_OR_RETURN(ts, dec->ReadVarintSigned64());
+    out.positions_[origin] = ts;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------- Buffer
+
+void BufferState::Append(OperatorId downstream, Tuple t) {
+  buffers_[downstream].push_back(std::move(t));
+}
+
+size_t BufferState::Trim(OperatorId downstream, int64_t up_to) {
+  auto it = buffers_.find(downstream);
+  if (it == buffers_.end()) return 0;
+  auto& vec = it->second;
+  // Output buffers are appended in timestamp order per origin; a single
+  // instance's buffer holds only its own emissions, so a prefix erase by
+  // timestamp is exact.
+  auto keep_from = std::find_if(vec.begin(), vec.end(), [&](const Tuple& t) {
+    return t.timestamp > up_to;
+  });
+  const size_t dropped = static_cast<size_t>(keep_from - vec.begin());
+  vec.erase(vec.begin(), keep_from);
+  return dropped;
+}
+
+size_t BufferState::TrimByEventTime(SimTime cutoff) {
+  size_t dropped = 0;
+  for (auto& [op, vec] : buffers_) {
+    auto keep_from =
+        std::find_if(vec.begin(), vec.end(), [&](const Tuple& t) {
+          return t.event_time >= cutoff;
+        });
+    dropped += static_cast<size_t>(keep_from - vec.begin());
+    vec.erase(vec.begin(), keep_from);
+  }
+  return dropped;
+}
+
+const std::vector<Tuple>* BufferState::Get(OperatorId downstream) const {
+  auto it = buffers_.find(downstream);
+  return it == buffers_.end() ? nullptr : &it->second;
+}
+
+size_t BufferState::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [op, vec] : buffers_) n += vec.size();
+  return n;
+}
+
+size_t BufferState::ByteSize() const {
+  size_t n = 0;
+  for (const auto& [op, vec] : buffers_) {
+    for (const Tuple& t : vec) n += t.SerializedSize();
+  }
+  return n;
+}
+
+void BufferState::Encode(serde::Encoder* enc) const {
+  enc->AppendVarint64(buffers_.size());
+  for (const auto& [op, vec] : buffers_) {
+    enc->AppendFixed32(op);
+    enc->AppendVarint64(vec.size());
+    for (const Tuple& t : vec) t.Encode(enc);
+  }
+}
+
+Result<BufferState> BufferState::Decode(serde::Decoder* dec) {
+  BufferState out;
+  uint64_t n_ops;
+  SEEP_ASSIGN_OR_RETURN(n_ops, dec->ReadVarint64());
+  for (uint64_t i = 0; i < n_ops; ++i) {
+    uint32_t op;
+    SEEP_ASSIGN_OR_RETURN(op, dec->ReadFixed32());
+    uint64_t n_tuples;
+    SEEP_ASSIGN_OR_RETURN(n_tuples, dec->ReadVarint64());
+    auto& vec = out.buffers_[op];
+    vec.reserve(n_tuples);
+    for (uint64_t j = 0; j < n_tuples; ++j) {
+      Tuple t;
+      SEEP_ASSIGN_OR_RETURN(t, Tuple::Decode(dec));
+      vec.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Routing
+
+void RoutingState::SetRoutes(OperatorId downstream,
+                             std::vector<Route> routes) {
+  table_[downstream] = std::move(routes);
+}
+
+InstanceId RoutingState::RouteKey(OperatorId downstream, KeyHash key) const {
+  auto it = table_.find(downstream);
+  if (it == table_.end()) return kInvalidInstance;
+  for (const Route& r : it->second) {
+    if (r.range.Contains(key)) return r.instance;
+  }
+  return kInvalidInstance;
+}
+
+const std::vector<RoutingState::Route>* RoutingState::GetRoutes(
+    OperatorId downstream) const {
+  auto it = table_.find(downstream);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------- Checkpoint
+
+size_t StateCheckpoint::ByteSize() const {
+  return 64 + processing.ByteSize() + buffer.ByteSize() +
+         positions.positions().size() * 16 + deleted_keys.size() * 8 +
+         buffer_front.size() * 12;
+}
+
+void StateCheckpoint::Encode(serde::Encoder* enc) const {
+  enc->AppendFixed32(op);
+  enc->AppendFixed32(instance);
+  enc->AppendFixed64(origin);
+  enc->AppendFixed64(key_range.lo);
+  enc->AppendFixed64(key_range.hi);
+  enc->AppendVarintSigned64(out_clock);
+  enc->AppendVarint64(seq);
+  enc->AppendVarintSigned64(taken_at);
+  positions.Encode(enc);
+  processing.Encode(enc);
+  buffer.Encode(enc);
+  enc->AppendU8(is_delta ? 1 : 0);
+  enc->AppendVarint64(base_seq);
+  enc->AppendVarint64(deleted_keys.size());
+  for (KeyHash k : deleted_keys) enc->AppendFixed64(k);
+  enc->AppendVarint64(buffer_front.size());
+  for (const auto& [op_id, front] : buffer_front) {
+    enc->AppendFixed32(op_id);
+    enc->AppendVarintSigned64(front);
+  }
+}
+
+Result<StateCheckpoint> StateCheckpoint::Decode(serde::Decoder* dec) {
+  StateCheckpoint c;
+  SEEP_ASSIGN_OR_RETURN(c.op, dec->ReadFixed32());
+  SEEP_ASSIGN_OR_RETURN(c.instance, dec->ReadFixed32());
+  SEEP_ASSIGN_OR_RETURN(c.origin, dec->ReadFixed64());
+  SEEP_ASSIGN_OR_RETURN(c.key_range.lo, dec->ReadFixed64());
+  SEEP_ASSIGN_OR_RETURN(c.key_range.hi, dec->ReadFixed64());
+  SEEP_ASSIGN_OR_RETURN(c.out_clock, dec->ReadVarintSigned64());
+  SEEP_ASSIGN_OR_RETURN(c.seq, dec->ReadVarint64());
+  SEEP_ASSIGN_OR_RETURN(c.taken_at, dec->ReadVarintSigned64());
+  SEEP_ASSIGN_OR_RETURN(c.positions, InputPositions::Decode(dec));
+  SEEP_ASSIGN_OR_RETURN(c.processing, ProcessingState::Decode(dec));
+  SEEP_ASSIGN_OR_RETURN(c.buffer, BufferState::Decode(dec));
+  uint8_t is_delta;
+  SEEP_ASSIGN_OR_RETURN(is_delta, dec->ReadU8());
+  c.is_delta = is_delta != 0;
+  SEEP_ASSIGN_OR_RETURN(c.base_seq, dec->ReadVarint64());
+  uint64_t n_deleted;
+  SEEP_ASSIGN_OR_RETURN(n_deleted, dec->ReadVarint64());
+  for (uint64_t i = 0; i < n_deleted; ++i) {
+    KeyHash k;
+    SEEP_ASSIGN_OR_RETURN(k, dec->ReadFixed64());
+    c.deleted_keys.push_back(k);
+  }
+  uint64_t n_fronts;
+  SEEP_ASSIGN_OR_RETURN(n_fronts, dec->ReadVarint64());
+  for (uint64_t i = 0; i < n_fronts; ++i) {
+    uint32_t op_id;
+    SEEP_ASSIGN_OR_RETURN(op_id, dec->ReadFixed32());
+    int64_t front;
+    SEEP_ASSIGN_OR_RETURN(front, dec->ReadVarintSigned64());
+    c.buffer_front[op_id] = front;
+  }
+  return c;
+}
+
+std::vector<uint8_t> StateCheckpoint::Serialize() const {
+  serde::Encoder enc;
+  Encode(&enc);
+  return serde::FramePayload(enc.buffer());
+}
+
+Result<StateCheckpoint> StateCheckpoint::Deserialize(
+    const std::vector<uint8_t>& raw) {
+  auto payload = serde::UnframePayload(raw);
+  if (!payload.ok()) return payload.status();
+  serde::Decoder dec(payload.value());
+  return Decode(&dec);
+}
+
+}  // namespace seep::core

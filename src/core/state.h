@@ -1,0 +1,202 @@
+#ifndef SEEP_CORE_STATE_H_
+#define SEEP_CORE_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/time.h"
+#include "core/key_range.h"
+#include "core/tuple.h"
+
+namespace seep::core {
+
+/// Processing state θo (paper §3.1): the operator's summary of past tuples,
+/// externalised as key/value pairs so the SPS can checkpoint and partition it
+/// without understanding operator internals. Operators keep efficient
+/// internal structures and translate on demand (get-processing-state).
+class ProcessingState {
+ public:
+  using Entry = std::pair<KeyHash, std::string>;
+
+  ProcessingState() = default;
+
+  void Add(KeyHash key, std::string value) {
+    bytes_ += sizeof(KeyHash) + value.size();
+    entries_.emplace_back(key, std::move(value));
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Approximate in-memory footprint; checkpoint CPU cost scales with this.
+  size_t ByteSize() const { return bytes_; }
+
+  /// Returns the subset of entries whose key falls in `range` — the core of
+  /// Algorithm 2 line 5: θi ← {(k,v) ∈ θ : ki ≤ k < ki+1}.
+  ProcessingState FilterByRange(const KeyRange& range) const;
+
+  /// Appends all entries of `other` (used by scale-in merge; key sets must be
+  /// disjoint, which holds for partitions of disjoint ranges).
+  void MergeFrom(const ProcessingState& other);
+
+  void Encode(serde::Encoder* enc) const;
+  static Result<ProcessingState> Decode(serde::Decoder* dec);
+
+ private:
+  std::vector<Entry> entries_;
+  size_t bytes_ = 0;
+};
+
+/// The τ vector (paper §2.2/§3.1): for each input stream origin, the most
+/// recent timestamp reflected in the processing state. Doubles as the
+/// duplicate-filtering watermark: a tuple from origin g with timestamp
+/// <= positions[g] is already accounted for and must be discarded on replay.
+class InputPositions {
+ public:
+  /// Returns true if the tuple advances the position (i.e. is fresh); false
+  /// if it is a duplicate.
+  bool Advance(OriginId origin, int64_t timestamp);
+
+  /// Position for an origin, or -1 when never seen.
+  int64_t Get(OriginId origin) const;
+
+  void Set(OriginId origin, int64_t timestamp) { positions_[origin] = timestamp; }
+
+  const std::map<OriginId, int64_t>& positions() const { return positions_; }
+
+  /// Element-wise minimum with `other`; used when merging states where the
+  /// conservative (replay-more) direction is required.
+  void LowerBoundWith(const InputPositions& other);
+
+  /// Element-wise maximum with `other`; valid only for quiesced merges where
+  /// both sides have seen all tuples up to their positions.
+  void UpperBoundWith(const InputPositions& other);
+
+  void Encode(serde::Encoder* enc) const;
+  static Result<InputPositions> Decode(serde::Decoder* dec);
+
+ private:
+  std::map<OriginId, int64_t> positions_;
+};
+
+/// Buffer state βo (paper §3.1): output tuples kept per downstream logical
+/// operator until a downstream checkpoint covers them. Replayed after a
+/// downstream restore; trimmed on checkpoint acknowledgements.
+class BufferState {
+ public:
+  void Append(OperatorId downstream, Tuple t);
+
+  /// Drops all tuples for `downstream` with timestamp <= up_to (the paper's
+  /// trim(o, τ)). Returns the number of tuples dropped.
+  size_t Trim(OperatorId downstream, int64_t up_to);
+
+  /// Drops all tuples (any downstream) created before `cutoff`. Used by the
+  /// upstream-backup and source-replay baselines, whose buffers cover a
+  /// fixed window of history rather than the checkpoint horizon.
+  size_t TrimByEventTime(SimTime cutoff);
+
+  const std::vector<Tuple>* Get(OperatorId downstream) const;
+  std::map<OperatorId, std::vector<Tuple>>& buffers() { return buffers_; }
+  const std::map<OperatorId, std::vector<Tuple>>& buffers() const {
+    return buffers_;
+  }
+
+  size_t TotalTuples() const;
+  size_t ByteSize() const;
+
+  void Encode(serde::Encoder* enc) const;
+  static Result<BufferState> Decode(serde::Decoder* dec);
+
+ private:
+  std::map<OperatorId, std::vector<Tuple>> buffers_;
+};
+
+/// Routing state ρo (paper §3.1): for each downstream logical operator, the
+/// key-interval → partitioned-instance mapping. Changes only on scale out,
+/// scale in, or recovery, and is therefore owned by the query manager and
+/// pushed to upstream instances (paper §3.2: "routing state is maintained by
+/// the query manager").
+class RoutingState {
+ public:
+  struct Route {
+    KeyRange range;
+    InstanceId instance;
+  };
+
+  /// Replaces the routes for one downstream logical operator. Routes must
+  /// cover disjoint ranges (checked in debug builds at lookup time).
+  void SetRoutes(OperatorId downstream, std::vector<Route> routes);
+
+  /// Routes a key: the instance whose range contains `key`. Returns
+  /// kInvalidInstance if `downstream` has no routes (not deployed).
+  InstanceId RouteKey(OperatorId downstream, KeyHash key) const;
+
+  const std::vector<Route>* GetRoutes(OperatorId downstream) const;
+  const std::map<OperatorId, std::vector<Route>>& all() const {
+    return table_;
+  }
+
+  bool empty() const { return table_.empty(); }
+
+ private:
+  std::map<OperatorId, std::vector<Route>> table_;
+};
+
+/// Changed portion of a processing state since the previous checkpoint:
+/// updated/inserted entries plus keys removed entirely (e.g. expired
+/// windows). Keys are treated as entry identities.
+struct StateDelta {
+  ProcessingState updated;
+  std::vector<KeyHash> deleted;
+};
+
+/// A checkpoint of one operator instance: everything needed to restore or
+/// partition it (paper §3.2 checkpoint-state → (θo, τo, βo), plus the output
+/// clock that restore resets so downstream can discard duplicates).
+///
+/// A checkpoint is either *full* or a *delta* (incremental checkpointing,
+/// §3.2): a delta carries only the processing-state entries changed since
+/// the base checkpoint `base_seq`, the keys deleted since then, the new
+/// buffer tuples, and per-downstream trim positions for the buffer the
+/// holder mirrors. The holder applies deltas onto its stored full copy
+/// (ApplyDelta in state_ops.h), so retrieval always yields a full state.
+struct StateCheckpoint {
+  OperatorId op = 0;
+  InstanceId instance = kInvalidInstance;
+  OriginId origin = kInvalidOrigin;
+  KeyRange key_range = KeyRange::Full();
+  int64_t out_clock = 0;
+  uint64_t seq = 0;        // checkpoint sequence number, monotone per instance
+  SimTime taken_at = 0;
+  InputPositions positions;
+  ProcessingState processing;
+  BufferState buffer;
+
+  // Incremental-checkpoint fields (meaningful when is_delta).
+  bool is_delta = false;
+  uint64_t base_seq = 0;
+  std::vector<KeyHash> deleted_keys;
+  /// For each downstream op: the owner's current oldest buffered timestamp;
+  /// the holder drops mirrored tuples below it (trim replication).
+  std::map<OperatorId, int64_t> buffer_front;
+
+  size_t ByteSize() const;
+
+  void Encode(serde::Encoder* enc) const;
+  static Result<StateCheckpoint> Decode(serde::Decoder* dec);
+
+  /// Round-trips through the wire format; the restore path uses this to
+  /// model (and verify) real serialisation.
+  std::vector<uint8_t> Serialize() const;
+  static Result<StateCheckpoint> Deserialize(const std::vector<uint8_t>& raw);
+};
+
+}  // namespace seep::core
+
+#endif  // SEEP_CORE_STATE_H_

@@ -1,0 +1,61 @@
+#ifndef SEEP_CORE_STATE_OPS_H_
+#define SEEP_CORE_STATE_OPS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/state.h"
+
+namespace seep::core {
+
+/// Selects which upstream instance stores operator `op`'s checkpoints:
+/// Algorithm 1 line 2, i = hash(id(o)) mod |up(o)|. Spreading backups by
+/// hash balances backup load across partitioned upstream operators.
+InstanceId ChooseBackupInstance(InstanceId instance,
+                                const std::vector<InstanceId>& upstream);
+
+/// Algorithm 2, partition-processing-state: splits a checkpoint into `pi`
+/// partition checkpoints. The checkpoint's key range is split evenly; each
+/// partition receives the processing-state entries in its subrange and a
+/// copy of the input positions τ; the buffer state β is assigned to the
+/// first partition only (Algorithm 2 line 7).
+///
+/// Returns InvalidArgument when pi == 0 or the range is too narrow.
+Result<std::vector<StateCheckpoint>> PartitionCheckpoint(
+    const StateCheckpoint& checkpoint, uint32_t pi);
+
+/// Splits a checkpoint along explicit key ranges (used when the caller wants
+/// distribution-aware splits rather than even hash splits; paper Algorithm 2:
+/// "the key distribution can be used to guide the split"). Ranges must be
+/// disjoint and cover checkpoint.key_range.
+Result<std::vector<StateCheckpoint>> PartitionCheckpointByRanges(
+    const StateCheckpoint& checkpoint, const std::vector<KeyRange>& ranges);
+
+/// Distribution-aware split (Algorithm 2: "the key distribution can be used
+/// to guide the split"): cuts the checkpoint's key range at the quantiles of
+/// its processing-state entry keys, so each partition receives roughly the
+/// same number of state entries — a proxy for per-key load that beats even
+/// hash splits when the populated key space is skewed. Falls back to an
+/// even split when there are too few entries to estimate the distribution.
+std::vector<KeyRange> BalancedSplitRanges(const StateCheckpoint& checkpoint,
+                                          uint32_t pi);
+
+/// Applies an incremental (delta) checkpoint onto a stored full checkpoint
+/// in place: processing-state entries are replaced/inserted by key and
+/// deleted keys removed; positions, clocks and sequence advance to the
+/// delta's; mirrored buffers are trimmed to the delta's buffer_front and
+/// extended with the delta's tuples. Fails if `delta.base_seq` does not
+/// match `base->seq` (a delta applied out of order) or `delta` is not a
+/// delta checkpoint.
+Status ApplyDelta(StateCheckpoint* base, const StateCheckpoint& delta);
+
+/// Scale-in support (paper §3.3): merges checkpoints of partitions with
+/// adjacent key ranges into one checkpoint covering their union. Requires a
+/// quiesced capture (both partitions drained), so input positions combine by
+/// upper bound. Checkpoints must be sorted by key range and adjacent.
+Result<StateCheckpoint> MergeCheckpoints(
+    const std::vector<StateCheckpoint>& checkpoints);
+
+}  // namespace seep::core
+
+#endif  // SEEP_CORE_STATE_OPS_H_

@@ -1,0 +1,59 @@
+#include "core/tuple.h"
+
+namespace seep::core {
+
+namespace {
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+size_t SignedVarintSize(int64_t v) {
+  return VarintSize((static_cast<uint64_t>(v) << 1) ^
+                    static_cast<uint64_t>(v >> 63));
+}
+}  // namespace
+
+void Tuple::Encode(serde::Encoder* enc) const {
+  enc->AppendVarintSigned64(timestamp);
+  enc->AppendFixed64(key);
+  enc->AppendFixed64(origin);
+  enc->AppendVarintSigned64(event_time);
+  for (int64_t v : ints) enc->AppendVarintSigned64(v);
+  enc->AppendString(text);
+  enc->AppendU8(latency_sample ? 1 : 0);
+}
+
+Result<Tuple> Tuple::Decode(serde::Decoder* dec) {
+  Tuple t;
+  SEEP_ASSIGN_OR_RETURN(t.timestamp, dec->ReadVarintSigned64());
+  SEEP_ASSIGN_OR_RETURN(t.key, dec->ReadFixed64());
+  SEEP_ASSIGN_OR_RETURN(t.origin, dec->ReadFixed64());
+  SEEP_ASSIGN_OR_RETURN(t.event_time, dec->ReadVarintSigned64());
+  for (auto& v : t.ints) {
+    SEEP_ASSIGN_OR_RETURN(v, dec->ReadVarintSigned64());
+  }
+  SEEP_ASSIGN_OR_RETURN(t.text, dec->ReadString());
+  uint8_t latency_sample;
+  SEEP_ASSIGN_OR_RETURN(latency_sample, dec->ReadU8());
+  t.latency_sample = latency_sample != 0;
+  return t;
+}
+
+size_t Tuple::SerializedSize() const {
+  size_t n = SignedVarintSize(timestamp) + 8 + 8 + SignedVarintSize(event_time);
+  for (int64_t v : ints) n += SignedVarintSize(v);
+  n += VarintSize(text.size()) + text.size();
+  return n + 1;  // + latency_sample flag
+}
+
+size_t TupleBatch::SerializedSize() const {
+  size_t n = 16;  // header: sender + count
+  for (const Tuple& t : tuples) n += t.SerializedSize();
+  return n;
+}
+
+}  // namespace seep::core

@@ -1,0 +1,74 @@
+#ifndef SEEP_RUNTIME_BACKUP_STORE_H_
+#define SEEP_RUNTIME_BACKUP_STORE_H_
+
+#include <map>
+#include <optional>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "core/state.h"
+
+namespace seep::runtime {
+
+/// Directory of checkpoint backups: which upstream instance (the paper's
+/// backup(o)) holds the latest checkpoint of each operator instance, and the
+/// checkpoint itself. Entries whose holder's VM fails become unavailable —
+/// the scale-out algorithm then aborts and retries after re-backup, exactly
+/// as §4.3 discusses.
+class BackupStore {
+ public:
+  struct Entry {
+    InstanceId holder = kInvalidInstance;
+    core::StateCheckpoint checkpoint;
+  };
+
+  /// store-backup(holder, owner, checkpoint): replaces any previous backup of
+  /// `owner` (Algorithm 1 lines 5-6 delete the old holder's copy).
+  void Store(InstanceId owner, InstanceId holder,
+             core::StateCheckpoint checkpoint) {
+    entries_[owner] = Entry{holder, std::move(checkpoint)};
+  }
+
+  /// retrieve-backup(backup(o), o).
+  Result<Entry> Retrieve(InstanceId owner) const {
+    auto it = entries_.find(owner);
+    if (it == entries_.end()) {
+      return Status::NotFound("no backup for instance");
+    }
+    return it->second;
+  }
+
+  void Delete(InstanceId owner) { entries_.erase(owner); }
+
+  /// Previous backup holder, or kInvalidInstance (Algorithm 1's backup(o)).
+  InstanceId HolderOf(InstanceId owner) const {
+    auto it = entries_.find(owner);
+    return it == entries_.end() ? kInvalidInstance : it->second.holder;
+  }
+
+  bool Has(InstanceId owner) const { return entries_.contains(owner); }
+
+  /// Drops every backup held BY `holder` (its VM failed, taking the stored
+  /// checkpoints with it). Returns how many were lost.
+  size_t DropHeldBy(InstanceId holder);
+
+ private:
+  std::map<InstanceId, Entry> entries_;
+};
+
+inline size_t BackupStore::DropHeldBy(InstanceId holder) {
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.holder == holder) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace seep::runtime
+
+#endif  // SEEP_RUNTIME_BACKUP_STORE_H_

@@ -1,0 +1,213 @@
+#ifndef SEEP_RUNTIME_CLUSTER_H_
+#define SEEP_RUNTIME_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cloud/cloud_provider.h"
+#include "cloud/vm_pool.h"
+#include "common/result.h"
+#include "core/query_graph.h"
+#include "core/state.h"
+#include "runtime/backup_store.h"
+#include "runtime/metrics.h"
+#include "runtime/operator_instance.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace seep::runtime {
+
+/// Which fault-tolerance mechanism the deployment runs (paper §6.2 compares
+/// all three; kNone is the Fig. 14 no-checkpointing baseline).
+enum class FaultToleranceMode {
+  kStateManagement,  // R+SM: periodic checkpoints backed up upstream
+  kUpstreamBackup,   // UB: window-length buffers at every operator, replayed
+  kSourceReplay,     // SR: buffers only at sources, whole pipeline replays
+  kNone,             // no checkpoints, no recovery
+};
+
+struct ClusterConfig {
+  sim::NetworkConfig network;
+  cloud::CloudProviderConfig provider;
+  cloud::VmPoolConfig pool;
+
+  FaultToleranceMode ft_mode = FaultToleranceMode::kStateManagement;
+  /// Checkpointing interval c (paper §3.2); R+SM only.
+  SimTime checkpoint_interval = SecondsToSim(5);
+  /// Granularity at which sources materialise tuples into batches.
+  SimTime source_tick = MillisToSim(100);
+  /// Age horizon for buffer trimming in UB/SR modes; must exceed the longest
+  /// window of any operator, plus slack for replay.
+  SimTime buffer_window = SecondsToSim(35);
+  /// Input-queue admission limit per instance; arrivals beyond it are
+  /// dropped (the open-loop overload behaviour). Replay batches are exempt.
+  /// The default is large enough that closed-loop runs never drop; open-loop
+  /// experiments (paper Fig. 8) configure a small limit explicitly.
+  size_t max_queue_tuples = 4'000'000;
+  /// CPU cost of serialising/deserialising checkpoint state, µs per KiB on
+  /// the reference core; drives the Fig. 14 overhead.
+  double serialize_cost_us_per_kb = 25.0;
+
+  /// Whether backup holders are spread over upstream instances by hash
+  /// (Algorithm 1 line 2). When false, every checkpoint goes to the first
+  /// upstream instance — the baseline for the backup-spread ablation.
+  bool spread_backups = true;
+
+  /// Incremental checkpointing (paper §3.2 / [17]): operators that support
+  /// dirty-key tracking ship only state deltas; the backup holder applies
+  /// them onto its stored full copy. Every `full_checkpoint_every`-th
+  /// checkpoint is a full resync.
+  bool incremental_checkpoints = false;
+  uint32_t full_checkpoint_every = 12;
+
+  uint64_t seed = 42;
+};
+
+/// Owns every mechanism of the simulated deployment: the event loop, the
+/// network, the cloud provider and VM pool, all operator instances, routing
+/// state, checkpoint backups and metrics. Policy (when to scale, how to
+/// recover) lives in control/ and acts through this interface — mirroring
+/// the paper's split between state management primitives and the SPS
+/// components that use them.
+class Cluster {
+ public:
+  Cluster(const core::QueryGraph* graph, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation* simulation() { return &sim_; }
+  sim::Network* network() { return &network_; }
+  cloud::CloudProvider* provider() { return &provider_; }
+  cloud::VmPool* pool() { return &pool_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+  const ClusterConfig& config() const { return config_; }
+  const core::QueryGraph* graph() const { return graph_; }
+  core::RoutingState* routing() { return &routing_; }
+  BackupStore* backups() { return &backups_; }
+  SimTime Now() const { return sim_.Now(); }
+
+  // ------------------------------------------------------------ deployment
+
+  /// Creates an instance of logical operator `op` on `vm` covering `range`.
+  /// The instance is registered as a current partition of `op` but not
+  /// started; callers set routing and call Start.
+  Result<InstanceId> DeployInstance(OperatorId op, VmId vm,
+                                    core::KeyRange range,
+                                    uint32_t source_index = 0,
+                                    uint32_t source_count = 1);
+
+  OperatorInstance* GetInstance(InstanceId id);
+  const OperatorInstance* GetInstance(InstanceId id) const;
+
+  /// Current partitions of a logical operator (includes failed instances
+  /// until a recovery replaces them — their buffers upstream must be
+  /// preserved meanwhile).
+  std::vector<InstanceId> InstancesOf(OperatorId op) const;
+
+  /// Same, restricted to alive instances.
+  std::vector<InstanceId> LiveInstancesOf(OperatorId op) const;
+
+  /// Alive instances of all upstream logical operators of `op` — the
+  /// candidate backup holders (Algorithm 1).
+  std::vector<InstanceId> UpstreamInstancesOf(OperatorId op) const;
+
+  /// Removes `id` from the current membership of its logical operator (it
+  /// was replaced); stops it and optionally releases its VM. The object
+  /// remains as a tombstone so in-flight events resolve safely.
+  void RetireInstance(InstanceId id, bool release_vm);
+
+  /// First half of retirement: stop the instance and release its VM, but
+  /// KEEP it in the membership. Until FinalizeRetire runs (atomically with
+  /// the routing switch that seeds the replacements' acknowledgement
+  /// positions), the stopped instance's frozen ack still constrains
+  /// upstream buffer trimming — otherwise a sibling partition's checkpoint
+  /// in the handover window could trim tuples the replacements still need.
+  void StopInstance(InstanceId id, bool release_vm);
+
+  /// Second half: removes `id` from membership and drops its backups.
+  void FinalizeRetire(InstanceId id);
+
+  const std::map<InstanceId, std::unique_ptr<OperatorInstance>>& instances()
+      const {
+    return instances_;
+  }
+
+  // --------------------------------------------------------------- failure
+
+  /// Crash-stops a VM: the hosted instance dies, its network endpoint
+  /// detaches (in-flight messages drop), and any checkpoint backups stored
+  /// on it are lost.
+  Status KillVm(VmId vm);
+
+  /// Convenience for tests/benches: kills the VM hosting the (single)
+  /// current instance of `op`.
+  Status KillOperator(OperatorId op);
+
+  // ------------------------------------------------------------- messaging
+
+  /// Ships a tuple batch from one instance to another over the network.
+  void SendBatch(OperatorInstance* from, InstanceId to,
+                 core::TupleBatch batch);
+
+  /// Algorithm 1 backup-state: selects the holder by hashing over upstream
+  /// instances, ships the checkpoint over the network, stores it (applying
+  /// it onto the held copy when it is a delta), and sends trim
+  /// acknowledgements to the owner's upstream instances.
+  void BackupCheckpoint(OperatorInstance* owner, core::StateCheckpoint ckpt);
+
+  /// The holder Algorithm 1 would choose for `owner` right now, or
+  /// kInvalidInstance if there is no live upstream. Owners use this to
+  /// decide whether an incremental checkpoint can target the same holder
+  /// as the stored base.
+  InstanceId BackupHolderFor(const OperatorInstance* owner) const;
+
+  // ---------------------------------------------------------------- fences
+
+  /// Registers a replay fence: `expected` fence deliveries at instances in
+  /// `targets` complete the fence and invoke `on_complete(now)`.
+  uint64_t RegisterFence(int expected, std::set<InstanceId> targets,
+                         std::function<void(SimTime)> on_complete);
+
+  void HandleFence(uint64_t fence_id, OperatorInstance* at);
+
+  // ----------------------------------------------------------------- misc
+
+  core::OriginId NewOrigin() { return ++origin_counter_; }
+  InstanceId NextInstanceId() { return next_instance_id_++; }
+  void RecordVmsInUse();
+
+ private:
+  const core::QueryGraph* graph_;
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  sim::Network network_;
+  cloud::CloudProvider provider_;
+  cloud::VmPool pool_;
+  MetricsRegistry metrics_;
+  core::RoutingState routing_;
+  BackupStore backups_;
+
+  InstanceId next_instance_id_ = 0;
+  core::OriginId origin_counter_ = 0;
+  uint64_t fence_counter_ = 0;
+
+  std::map<InstanceId, std::unique_ptr<OperatorInstance>> instances_;
+  std::map<OperatorId, std::vector<InstanceId>> partitions_;
+  std::map<VmId, InstanceId> vm_to_instance_;
+
+  struct Fence {
+    std::set<InstanceId> targets;
+    int remaining = 0;
+    std::function<void(SimTime)> on_complete;
+  };
+  std::map<uint64_t, Fence> fences_;
+};
+
+}  // namespace seep::runtime
+
+#endif  // SEEP_RUNTIME_CLUSTER_H_

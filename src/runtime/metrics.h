@@ -1,0 +1,80 @@
+#ifndef SEEP_RUNTIME_METRICS_H_
+#define SEEP_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace seep::runtime {
+
+/// One dynamic scale-out action (paper Fig. 6/8 annotations).
+struct ScaleOutEvent {
+  SimTime at = 0;
+  OperatorId op = 0;
+  InstanceId partitioned_instance = kInvalidInstance;
+  uint32_t parallelism_before = 0;
+  uint32_t parallelism_after = 0;
+};
+
+/// One failure-recovery action (paper §6.2). `caught_up_at` is when the
+/// restored instance finished processing all replayed tuples — the paper's
+/// "time to recover (until the complete operator state was restored)".
+struct RecoveryEvent {
+  OperatorId op = 0;
+  InstanceId failed_instance = kInvalidInstance;
+  SimTime failed_at = 0;
+  SimTime detected_at = 0;
+  SimTime restored_at = 0;   // state restored onto the replacement(s)
+  SimTime caught_up_at = 0;  // replay fence drained; 0 if not yet
+  uint32_t parallelism = 1;  // 1 = serial recovery, >1 = parallel recovery
+
+  double RecoverySeconds() const {
+    return caught_up_at == 0 ? -1 : SimToSeconds(caught_up_at - failed_at);
+  }
+};
+
+/// Run-wide observability: everything the paper's figures plot. Owned by the
+/// Cluster and written by instances/coordinators; read by benches and tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry()
+      : latency_ms(1 << 20, /*seed=*/7),
+        sink_tuples(kMicrosPerSecond),
+        source_tuples(kMicrosPerSecond),
+        dropped_tuples(kMicrosPerSecond) {}
+
+  /// End-to-end processing latency of result tuples, in milliseconds.
+  SampleDistribution latency_ms;
+  /// Sparse (time, latency-ms) samples for latency-over-time plots (Fig. 7).
+  TimeSeries latency_series_ms;
+  /// Result tuples per second at sinks (Fig. 6 "throughput").
+  RateCounter sink_tuples;
+  /// Tuples actually emitted by sources per second (Fig. 6 "input rate").
+  RateCounter source_tuples;
+  /// Tuples dropped by admission control under overload (open-loop runs).
+  RateCounter dropped_tuples;
+  /// VMs hosting operator instances over time (Fig. 6 right axis).
+  TimeSeries vms_in_use;
+
+  std::vector<ScaleOutEvent> scale_outs;
+  std::vector<RecoveryEvent> recoveries;
+
+  uint64_t duplicates_dropped = 0;
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t delta_checkpoints_taken = 0;
+  uint64_t delta_apply_failures = 0;
+  uint64_t tuples_replayed = 0;
+  uint64_t tuples_processed = 0;
+  uint64_t source_saturated_ticks = 0;
+
+  /// Sampling stride for latency_series_ms (1 sample per N sink tuples).
+  uint32_t latency_series_stride = 64;
+};
+
+}  // namespace seep::runtime
+
+#endif  // SEEP_RUNTIME_METRICS_H_

@@ -1,0 +1,569 @@
+#include "runtime/operator_instance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/state_ops.h"
+#include "runtime/cluster.h"
+
+namespace seep::runtime {
+
+// Gathers the emissions of one Process/OnTimer invocation together with the
+// per-emission suppression flag (catch-up suppression applies per input
+// tuple, and one input can produce several outputs).
+class OperatorInstance::EmitCollector : public core::Collector {
+ public:
+  void EmitTo(int port, core::Tuple tuple) override {
+    emissions.emplace_back(port, std::move(tuple));
+    suppressed.push_back(suppress);
+  }
+
+  std::vector<std::pair<int, core::Tuple>> emissions;
+  std::vector<bool> suppressed;
+  bool suppress = false;
+};
+
+OperatorInstance::OperatorInstance(Cluster* cluster, Params params)
+    : cluster_(cluster), p_(params), origin_(params.origin) {
+  SEEP_CHECK(p_.spec != nullptr);
+  switch (p_.spec->kind) {
+    case core::VertexKind::kSource:
+      source_ = p_.spec->source_factory(p_.source_index, p_.source_count);
+      break;
+    case core::VertexKind::kOperator:
+      operator_ = p_.spec->factory();
+      break;
+    case core::VertexKind::kSink:
+      sink_ = p_.spec->sink_factory();
+      break;
+  }
+  downstream_ops_ = cluster_->graph()->Downstream(p_.op);
+}
+
+OperatorInstance::~OperatorInstance() = default;
+
+double OperatorInstance::CostMicrosPerTuple() const {
+  if (operator_) return operator_->CostMicrosPerTuple();
+  return p_.spec->endpoint_cost_us;
+}
+
+// ------------------------------------------------------------------ lifecycle
+
+void OperatorInstance::Start() {
+  if (source_) ScheduleSourceTick();
+  if (operator_ && operator_->TimerInterval() > 0) ScheduleWindowTimer();
+
+  const FaultToleranceMode mode = cluster_->config().ft_mode;
+  const bool is_inner = p_.spec->kind == core::VertexKind::kOperator;
+  if (mode == FaultToleranceMode::kStateManagement && is_inner) {
+    ScheduleCheckpointTimer();
+  }
+  // Age-based buffer trimming replaces checkpoint-driven trimming in the
+  // baselines (and bounds buffers when checkpointing is off entirely).
+  if (mode != FaultToleranceMode::kStateManagement) ScheduleAgeTrim();
+}
+
+void OperatorInstance::Stop() {
+  stopped_ = true;
+  queue_.clear();
+  queued_tuples_ = 0;
+}
+
+void OperatorInstance::MarkDead(SimTime now) {
+  alive_ = false;
+  died_at_ = now;
+  queue_.clear();
+  queued_tuples_ = 0;
+}
+
+void OperatorInstance::Pause() { paused_ = true; }
+
+void OperatorInstance::Resume() {
+  if (!paused_) return;
+  paused_ = false;
+  TryStartJob();
+}
+
+// -------------------------------------------------------------------- arrival
+
+void OperatorInstance::OnBatch(core::TupleBatch batch) {
+  if (!alive_ || stopped_) return;
+  const size_t n = batch.tuples.size();
+  if (batch.fence_id == 0 && !batch.replay &&
+      queued_tuples_ + n > cluster_->config().max_queue_tuples) {
+    cluster_->metrics()->dropped_tuples.Add(cluster_->Now(), n);
+    return;
+  }
+  queued_tuples_ += n;
+  Job job;
+  job.kind = Job::Kind::kBatch;
+  job.batch = std::move(batch);
+  EnqueueJob(std::move(job));
+}
+
+// ------------------------------------------------------------------ job queue
+
+void OperatorInstance::EnqueueJob(Job job) {
+  // Checkpoints jump the queue: the paper's checkpointing is asynchronous
+  // (get-processing-state briefly locks the operator), so a backlog of
+  // tuples must not delay the checkpoint — a late checkpoint delays trim
+  // acknowledgements, upstream buffers balloon, and the next recovery or
+  // scale-out replays far more than one interval's worth.
+  if (job.kind == Job::Kind::kCheckpoint) {
+    queue_.push_front(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+  TryStartJob();
+}
+
+void OperatorInstance::TryStartJob() {
+  if (busy_ || paused_ || !alive_ || stopped_ || queue_.empty()) return;
+
+  auto job = std::make_shared<Job>(std::move(queue_.front()));
+  queue_.pop_front();
+
+  // Determine the job's CPU cost. Checkpoints snapshot state at job start
+  // (the paper's get-processing-state "locks all internal operator data
+  // structures") so their cost reflects the real encoded size.
+  switch (job->kind) {
+    case Job::Kind::kBatch:
+      job->cost_us = static_cast<double>(job->batch.tuples.size()) *
+                     CostMicrosPerTuple();
+      break;
+    case Job::Kind::kCheckpoint: {
+      job->ckpt = std::make_unique<core::StateCheckpoint>(
+          CanCheckpointIncrementally() ? MakeDeltaCheckpoint()
+                                       : MakeCheckpoint());
+      if (job->ckpt->is_delta) {
+        ++cluster_->metrics()->delta_checkpoints_taken;
+      }
+      // Serialisation CPU is charged for the processing state only: buffer
+      // tuples are retained in wire format and need no re-encoding (their
+      // bytes still cost network transfer below). This is what makes
+      // frequent checkpoints of large state expensive (paper Figs. 14/15).
+      const double kib =
+          static_cast<double>(job->ckpt->processing.ByteSize() + 64) / 1024.0;
+      job->cost_us = kib * cluster_->config().serialize_cost_us_per_kb;
+      break;
+    }
+    case Job::Kind::kTimer: {
+      EmitCollector collector;
+      operator_->OnTimer(cluster_->Now(), &collector);
+      job->timer_emissions = std::move(collector.emissions);
+      job->cost_us = static_cast<double>(job->timer_emissions.size()) *
+                     CostMicrosPerTuple();
+      break;
+    }
+  }
+
+  busy_ = true;
+  const SimTime duration = std::max<SimTime>(
+      0, static_cast<SimTime>(job->cost_us / p_.vm_capacity));
+  const bool replay_catch_up =
+      job->kind == Job::Kind::kBatch && job->batch.replay;
+  if (!replay_catch_up) busy_accum_us_ += static_cast<double>(duration);
+  cluster_->simulation()->Schedule(duration, [this, job]() {
+    if (!alive_) return;
+    busy_ = false;
+    if (!stopped_) FinishJob(job.get());
+    TryStartJob();
+  });
+}
+
+void OperatorInstance::FinishJob(Job* job) {
+  switch (job->kind) {
+    case Job::Kind::kBatch:
+      queued_tuples_ -= std::min(queued_tuples_, job->batch.tuples.size());
+      if (job->batch.fence_id != 0) {
+        cluster_->HandleFence(job->batch.fence_id, this);
+        return;
+      }
+      if (sink_) {
+        ConsumeAtSink(&job->batch);
+      } else if (operator_) {
+        ProcessBatch(&job->batch);
+      }
+      break;
+    case Job::Kind::kCheckpoint:
+      cluster_->BackupCheckpoint(this, std::move(*job->ckpt));
+      break;
+    case Job::Kind::kTimer:
+      FlushEmissions(&job->timer_emissions, nullptr);
+      break;
+  }
+}
+
+// ----------------------------------------------------------------- processing
+
+void OperatorInstance::ProcessBatch(core::TupleBatch* batch) {
+  EmitCollector collector;
+  MetricsRegistry* metrics = cluster_->metrics();
+  for (core::Tuple& t : batch->tuples) {
+    // Per-origin duplicate filtering: replayed tuples already reflected in
+    // the restored state are discarded here (paper §3.2).
+    const bool suppress =
+        suppressing_ && t.timestamp <= suppress_until_.Get(t.origin);
+    if (!positions_.Advance(t.origin, t.timestamp)) {
+      ++metrics->duplicates_dropped;
+      continue;
+    }
+    collector.suppress = suppress;
+    operator_->Process(t, &collector);
+    ++processed_tuples_;
+  }
+  ++metrics->tuples_processed;  // batch granularity is fine for this counter
+  FlushEmissions(&collector.emissions, &collector.suppressed);
+}
+
+void OperatorInstance::ConsumeAtSink(core::TupleBatch* batch) {
+  MetricsRegistry* metrics = cluster_->metrics();
+  const SimTime now = cluster_->Now();
+  for (core::Tuple& t : batch->tuples) {
+    if (!positions_.Advance(t.origin, t.timestamp)) {
+      ++metrics->duplicates_dropped;
+      continue;
+    }
+    sink_->Consume(t, now);
+    metrics->sink_tuples.Add(now, 1);
+    if (t.latency_sample) {
+      const double latency_ms = SimToMillis(now - t.event_time);
+      metrics->latency_ms.Add(latency_ms);
+      if (metrics->sink_tuples.total() % metrics->latency_series_stride ==
+          0) {
+        metrics->latency_series_ms.Add(now, latency_ms);
+      }
+    }
+  }
+}
+
+void OperatorInstance::FlushEmissions(
+    std::vector<std::pair<int, core::Tuple>>* emissions,
+    const std::vector<bool>* suppressed) {
+  std::map<InstanceId, core::TupleBatch> outgoing;
+  for (size_t i = 0; i < emissions->size(); ++i) {
+    auto& [port, tuple] = (*emissions)[i];
+    SEEP_CHECK_LT(static_cast<size_t>(port), downstream_ops_.size());
+    const OperatorId down = downstream_ops_[static_cast<size_t>(port)];
+    tuple.timestamp = ++out_clock_;
+    tuple.origin = origin_;
+    // Suppressed emissions rebuild state only; the stopped parent already
+    // delivered (and buffered through its checkpoint) these outputs.
+    if (suppressed != nullptr && (*suppressed)[i]) continue;
+    if (BuffersTo(down)) buffer_.Append(down, tuple);
+    const InstanceId dest = cluster_->routing()->RouteKey(down, tuple.key);
+    if (dest == kInvalidInstance) continue;
+    sent_[down][dest] = tuple.timestamp;
+    outgoing[dest].tuples.push_back(std::move(tuple));
+  }
+  for (auto& [dest, batch] : outgoing) {
+    cluster_->SendBatch(this, dest, std::move(batch));
+  }
+}
+
+bool OperatorInstance::BuffersTo(OperatorId down_op) const {
+  const core::OperatorSpec* down = cluster_->graph()->Get(down_op);
+  // Sinks are assumed reliable (paper §2.2), so no replay buffer is needed
+  // for them. In source-replay mode only sources keep buffers.
+  if (down->kind == core::VertexKind::kSink) return false;
+  if (cluster_->config().ft_mode == FaultToleranceMode::kSourceReplay) {
+    return p_.spec->kind == core::VertexKind::kSource;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- periodic events
+
+void OperatorInstance::ScheduleCheckpointTimer() {
+  cluster_->simulation()->Schedule(
+      cluster_->config().checkpoint_interval, [this]() {
+        if (!alive_ || stopped_) return;
+        if (!checkpoints_suspended_) {
+          Job job;
+          job.kind = Job::Kind::kCheckpoint;
+          EnqueueJob(std::move(job));
+        }
+        ScheduleCheckpointTimer();
+      });
+}
+
+void OperatorInstance::ScheduleWindowTimer() {
+  cluster_->simulation()->Schedule(operator_->TimerInterval(), [this]() {
+    if (!alive_ || stopped_) return;
+    Job job;
+    job.kind = Job::Kind::kTimer;
+    EnqueueJob(std::move(job));
+    ScheduleWindowTimer();
+  });
+}
+
+void OperatorInstance::ScheduleSourceTick() {
+  const SimTime dt = cluster_->config().source_tick;
+  cluster_->simulation()->Schedule(dt, [this, dt]() {
+    if (!alive_ || stopped_) return;
+    ScheduleSourceTick();
+    if (paused_) {
+      // Generation is halted (source-replay recovery pauses sources), but
+      // the offered load is backlogged — a real feeder reads from a log —
+      // and is emitted as a catch-up burst on resume.
+      owed_source_time_ += dt;
+      return;
+    }
+    const SimTime effective_dt = dt + owed_source_time_;
+    owed_source_time_ = 0;
+    EmitCollector collector;
+    source_->GenerateBatch(cluster_->Now(), effective_dt, &collector);
+    // Finite source capacity: the paper's sources max out on serialisation
+    // (~600k tuples/s); beyond that, generation saturates.
+    const double cost = p_.spec->endpoint_cost_us;
+    const size_t max_tuples = static_cast<size_t>(
+        p_.vm_capacity * static_cast<double>(dt) / std::max(cost, 1e-9));
+    if (collector.emissions.size() > max_tuples) {
+      collector.emissions.resize(max_tuples);
+      ++cluster_->metrics()->source_saturated_ticks;
+    }
+    cluster_->metrics()->source_tuples.Add(cluster_->Now(),
+                                           collector.emissions.size());
+    FlushEmissions(&collector.emissions, nullptr);
+  });
+}
+
+void OperatorInstance::ScheduleAgeTrim() {
+  cluster_->simulation()->Schedule(kMicrosPerSecond, [this]() {
+    if (!alive_ || stopped_) return;
+    const SimTime cutoff = cluster_->Now() - cluster_->config().buffer_window;
+    if (cutoff > 0) buffer_.TrimByEventTime(cutoff);
+    ScheduleAgeTrim();
+  });
+}
+
+// ----------------------------------------------------------- state management
+
+core::StateCheckpoint OperatorInstance::MakeCheckpoint() {
+  core::StateCheckpoint c;
+  c.op = p_.op;
+  c.instance = p_.id;
+  c.origin = origin_;
+  c.key_range = p_.range;
+  c.out_clock = out_clock_;
+  c.seq = ++ckpt_seq_;
+  c.taken_at = cluster_->Now();
+  c.positions = positions_;
+  if (operator_ && operator_->IsStateful()) {
+    c.processing = operator_->GetProcessingState();
+    // A full checkpoint captures everything; reset delta tracking so the
+    // next incremental checkpoint starts from this base.
+    operator_->ClearStateDelta();
+  }
+  c.buffer = buffer_;
+  for (const auto& [op_id, tuples] : buffer_.buffers()) {
+    shipped_buffer_back_[op_id] =
+        tuples.empty() ? out_clock_ : tuples.back().timestamp;
+  }
+  return c;
+}
+
+bool OperatorInstance::CanCheckpointIncrementally() const {
+  const ClusterConfig& config = cluster_->config();
+  if (!config.incremental_checkpoints) return false;
+  if (operator_ == nullptr) return false;
+  // Stateless operators always qualify: their delta is just the new buffer
+  // tuples. Stateful operators must track dirty keys (including deletions).
+  if (operator_->IsStateful() && !operator_->SupportsIncrementalState()) {
+    return false;
+  }
+  // Periodic full resync bounds staleness after any failed delta apply.
+  if (config.full_checkpoint_every > 0 &&
+      (ckpt_seq_ + 1) % config.full_checkpoint_every == 0) {
+    return false;
+  }
+  // The stored base must be at this sequence and at the holder Algorithm 1
+  // would pick now (upstream repartitioning moves the holder).
+  auto entry = cluster_->backups()->Retrieve(p_.id);
+  if (!entry.ok()) return false;
+  if (entry->checkpoint.seq != ckpt_seq_) return false;
+  return entry->holder == cluster_->BackupHolderFor(this);
+}
+
+core::StateCheckpoint OperatorInstance::MakeDeltaCheckpoint() {
+  core::StateCheckpoint c;
+  c.op = p_.op;
+  c.instance = p_.id;
+  c.origin = origin_;
+  c.key_range = p_.range;
+  c.out_clock = out_clock_;
+  c.seq = ckpt_seq_ + 1;
+  c.base_seq = ckpt_seq_;
+  ++ckpt_seq_;
+  c.taken_at = cluster_->Now();
+  c.positions = positions_;
+  c.is_delta = true;
+  core::StateDelta delta = operator_->TakeProcessingStateDelta();
+  c.processing = std::move(delta.updated);
+  c.deleted_keys = std::move(delta.deleted);
+  // Buffer delta: tuples beyond the last shipped timestamp, plus the
+  // current buffer fronts so the holder can mirror our trims.
+  for (const auto& [op_id, tuples] : buffer_.buffers()) {
+    const int64_t shipped = [&] {
+      auto it = shipped_buffer_back_.find(op_id);
+      return it == shipped_buffer_back_.end() ? INT64_MIN : it->second;
+    }();
+    c.buffer_front[op_id] =
+        tuples.empty() ? out_clock_ + 1 : tuples.front().timestamp;
+    for (const core::Tuple& t : tuples) {
+      if (t.timestamp > shipped) c.buffer.Append(op_id, t);
+    }
+    shipped_buffer_back_[op_id] =
+        tuples.empty() ? out_clock_ : tuples.back().timestamp;
+  }
+  return c;
+}
+
+void OperatorInstance::Restore(const core::StateCheckpoint& checkpoint,
+                               bool inherit_origin) {
+  if (inherit_origin) {
+    origin_ = checkpoint.origin;
+    out_clock_ = checkpoint.out_clock;
+  }
+  positions_ = checkpoint.positions;
+  if (operator_) operator_->SetProcessingState(checkpoint.processing);
+  buffer_ = checkpoint.buffer;
+  // Continue the checkpoint lineage: the restored state equals the stored
+  // base of this sequence number, so subsequent delta checkpoints apply
+  // cleanly on top of it.
+  ckpt_seq_ = checkpoint.seq;
+  shipped_buffer_back_.clear();
+  for (const auto& [op_id, tuples] : buffer_.buffers()) {
+    if (!tuples.empty()) shipped_buffer_back_[op_id] = tuples.back().timestamp;
+  }
+}
+
+void OperatorInstance::SetSuppressUntil(core::InputPositions positions) {
+  suppress_until_ = std::move(positions);
+  suppressing_ = true;
+}
+
+void OperatorInstance::MergeState(const core::ProcessingState& state) {
+  SEEP_CHECK(operator_ != nullptr);
+  operator_->MergeProcessingState(state);
+}
+
+void OperatorInstance::ResetEmpty(core::OriginId fresh_origin) {
+  origin_ = fresh_origin;
+  out_clock_ = 0;
+  positions_ = core::InputPositions();
+  suppress_until_ = core::InputPositions();
+  suppressing_ = false;
+  buffer_ = core::BufferState();
+  queue_.clear();
+  queued_tuples_ = 0;
+  ckpt_seq_ = 0;
+  shipped_buffer_back_.clear();
+  if (operator_) operator_->SetProcessingState(core::ProcessingState());
+}
+
+// --------------------------------------------------------------------- replay
+
+void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
+                                    const std::vector<InstanceId>& targets,
+                                    uint64_t fence_id) {
+  std::map<InstanceId, core::TupleBatch> outgoing;
+  const std::vector<core::Tuple>* tuples = buffer_.Get(down);
+  size_t replayed = 0;
+  if (tuples != nullptr) {
+    for (const core::Tuple& t : *tuples) {
+      if (t.timestamp <= from_ts) continue;
+      const InstanceId dest = cluster_->routing()->RouteKey(down, t.key);
+      if (std::find(targets.begin(), targets.end(), dest) == targets.end()) {
+        continue;
+      }
+      auto [it, inserted] = sent_[down].try_emplace(dest, t.timestamp);
+      if (!inserted) it->second = std::max(it->second, t.timestamp);
+      outgoing[dest].tuples.push_back(t);
+      ++replayed;
+    }
+  }
+  cluster_->metrics()->tuples_replayed += replayed;
+  for (auto& [dest, batch] : outgoing) {
+    batch.replay = true;
+    cluster_->SendBatch(this, dest, std::move(batch));
+  }
+  if (fence_id != 0) {
+    // The fence follows the replay batches on the same FIFO links, so its
+    // arrival implies the replay has fully drained.
+    for (InstanceId dest : targets) {
+      core::TupleBatch fence;
+      fence.fence_id = fence_id;
+      fence.replay = true;
+      cluster_->SendBatch(this, dest, std::move(fence));
+    }
+  }
+}
+
+void OperatorInstance::OnTrimAck(OperatorId down_op, InstanceId down_instance,
+                                 int64_t position) {
+  auto& acks = acks_[down_op];
+  auto [it, inserted] = acks.try_emplace(down_instance, position);
+  if (!inserted) it->second = std::max(it->second, position);
+  MaybeTrim(down_op);
+}
+
+void OperatorInstance::PruneAcks(OperatorId down_op) {
+  const std::vector<InstanceId> current = cluster_->InstancesOf(down_op);
+  auto prune = [&](std::map<InstanceId, int64_t>* table) {
+    for (auto entry = table->begin(); entry != table->end();) {
+      if (std::find(current.begin(), current.end(), entry->first) ==
+          current.end()) {
+        entry = table->erase(entry);
+      } else {
+        ++entry;
+      }
+    }
+  };
+  if (auto it = acks_.find(down_op); it != acks_.end()) prune(&it->second);
+  if (auto it = sent_.find(down_op); it != sent_.end()) prune(&it->second);
+}
+
+void OperatorInstance::SeedAck(OperatorId down_op, InstanceId down_instance,
+                               int64_t position) {
+  acks_[down_op][down_instance] = position;
+}
+
+void OperatorInstance::MaybeTrim(OperatorId down_op) {
+  // Trim to the minimum acknowledged position over the current partitions
+  // that still have outstanding (sent but not checkpoint-covered) tuples
+  // from this instance. Partitions with nothing outstanding don't constrain
+  // the trim: every tuple routed to them is reflected in their latest
+  // checkpoint, so recovery never replays it.
+  const std::vector<InstanceId> current = cluster_->InstancesOf(down_op);
+  if (current.empty()) return;
+  const auto& acks = acks_[down_op];
+  const auto& sent = sent_[down_op];
+  auto lookup = [](const std::map<InstanceId, int64_t>& table,
+                   InstanceId id) {
+    auto it = table.find(id);
+    return it == table.end() ? INT64_MIN : it->second;
+  };
+  int64_t bound = INT64_MAX;
+  int64_t max_sent = INT64_MIN;
+  for (InstanceId inst : current) {
+    const int64_t s = lookup(sent, inst);
+    const int64_t a = lookup(acks, inst);
+    max_sent = std::max(max_sent, s);
+    if (s > a) bound = std::min(bound, a);
+  }
+  if (bound == INT64_MAX) {
+    // Nothing outstanding anywhere: everything sent so far is covered.
+    bound = max_sent;
+  }
+  if (bound > INT64_MIN) buffer_.Trim(down_op, bound);
+}
+
+double OperatorInstance::TakeBusyMicros() {
+  const double v = busy_accum_us_;
+  busy_accum_us_ = 0;
+  return v;
+}
+
+}  // namespace seep::runtime

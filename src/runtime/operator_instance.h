@@ -1,0 +1,244 @@
+#ifndef SEEP_RUNTIME_OPERATOR_INSTANCE_H_
+#define SEEP_RUNTIME_OPERATOR_INSTANCE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "core/operator.h"
+#include "core/query_graph.h"
+#include "core/state.h"
+#include "core/tuple.h"
+
+namespace seep::runtime {
+
+class Cluster;
+
+/// A physical partitioned operator (the paper's o^i) running on one
+/// simulated VM. Models a single-server FIFO queue: tuple batches,
+/// checkpoints and window timers are jobs whose service time is derived from
+/// per-tuple/per-byte CPU costs divided by the VM's capacity. All state
+/// management hooks (checkpoint, restore, replay, trim, suppression) live
+/// here; coordination policy lives in control/.
+class OperatorInstance {
+ public:
+  struct Params {
+    InstanceId id = kInvalidInstance;
+    OperatorId op = 0;
+    const core::OperatorSpec* spec = nullptr;
+    VmId vm = kInvalidVm;
+    double vm_capacity = 1.0;
+    core::KeyRange range = core::KeyRange::Full();
+    core::OriginId origin = core::kInvalidOrigin;
+    uint32_t source_index = 0;  // which of N parallel sources this is
+    uint32_t source_count = 1;
+  };
+
+  OperatorInstance(Cluster* cluster, Params params);
+  ~OperatorInstance();
+
+  OperatorInstance(const OperatorInstance&) = delete;
+  OperatorInstance& operator=(const OperatorInstance&) = delete;
+
+  InstanceId id() const { return p_.id; }
+  OperatorId op() const { return p_.op; }
+  VmId vm() const { return p_.vm; }
+  const core::OperatorSpec& spec() const { return *p_.spec; }
+  const core::KeyRange& key_range() const { return p_.range; }
+  core::OriginId origin() const { return origin_; }
+  bool alive() const { return alive_; }
+  bool stopped() const { return stopped_; }
+  bool idle() const { return !busy_ && queue_.empty(); }
+
+  // ------------------------------------------------------------- lifecycle
+
+  /// Begins source ticks, window timers and the checkpoint schedule.
+  void Start();
+
+  /// Graceful permanent stop (scale-out path, Algorithm 3 line 8): finishes
+  /// nothing further; queued batches are discarded (upstream replays them).
+  void Stop();
+
+  /// Crash-stop (VM failure): all volatile state is lost.
+  void MarkDead(SimTime now);
+
+  /// Time of the crash-stop, or 0 if alive.
+  SimTime died_at() const { return died_at_; }
+
+  /// Temporarily halts job starts (Algorithm 3 lines 10/14 stop/start of
+  /// upstream operators during routing and buffer repartitioning).
+  void Pause();
+  void Resume();
+
+  /// Freezes the checkpoint schedule while the scale-out coordinator is
+  /// partitioning this instance's backed-up state: a fresher checkpoint
+  /// landing mid-operation would trim upstream buffers past the restore
+  /// point. (The paper's Algorithm 3 likewise never asks the overloaded
+  /// operator to checkpoint during its own scale out.)
+  void SuspendCheckpoints() { checkpoints_suspended_ = true; }
+  void ResumeCheckpoints() { checkpoints_suspended_ = false; }
+
+  // ------------------------------------------------------------- data path
+
+  /// Delivery of a batch from the network (or a fence).
+  void OnBatch(core::TupleBatch batch);
+
+  // ------------------------------------------------------ state management
+
+  /// checkpoint-state(o) → (θo, τo, βo): synchronous snapshot, used by the
+  /// checkpoint job and by quiesced scale-in.
+  core::StateCheckpoint MakeCheckpoint();
+
+  /// Incremental variant: only the state entries changed since the previous
+  /// checkpoint, new buffer tuples, and trim positions for the mirrored
+  /// buffer. Requires the operator's SupportsIncrementalState().
+  core::StateCheckpoint MakeDeltaCheckpoint();
+
+  /// Whether the next periodic checkpoint may be shipped as a delta
+  /// (incremental mode on, operator supports it, a full base is stored at
+  /// the holder Algorithm 1 currently selects, and no full resync is due).
+  bool CanCheckpointIncrementally() const;
+
+  /// restore-state(o, θ, τ, β): installs a checkpoint. With `inherit_origin`
+  /// the instance adopts the checkpoint's origin and output clock so that
+  /// downstream duplicate filtering recognises its re-emissions (serial
+  /// recovery); otherwise it keeps its own fresh origin (scale-out
+  /// partitions).
+  void Restore(const core::StateCheckpoint& checkpoint, bool inherit_origin);
+
+  /// Catch-up suppression: while re-processing replayed tuples with
+  /// timestamps at or below these per-origin positions, state is updated but
+  /// emissions are dropped — the stopped parent already delivered the
+  /// corresponding outputs downstream.
+  void SetSuppressUntil(core::InputPositions positions);
+
+  /// Merges another partition's processing state (quiesced scale-in).
+  void MergeState(const core::ProcessingState& state);
+
+  /// Clears processing state, positions, buffers, the job queue and the
+  /// output clock, and adopts a fresh origin. The source-replay baseline
+  /// resets every operator this way and recomputes from the sources'
+  /// buffered history.
+  void ResetEmpty(core::OriginId fresh_origin);
+
+  const core::InputPositions& positions() const { return positions_; }
+  int64_t out_clock() const { return out_clock_; }
+  core::BufferState& buffer_state() { return buffer_; }
+
+  // --------------------------------------------------------------- replay
+
+  /// replay-buffer-state(u, o): re-sends buffered tuples for downstream
+  /// logical operator `down` with timestamp > from_ts, routed by the current
+  /// routing state but restricted to `targets`. If fence_id != 0, a fence
+  /// follows the replayed tuples to each target on the same FIFO link.
+  void ReplayBuffer(OperatorId down, int64_t from_ts,
+                    const std::vector<InstanceId>& targets, uint64_t fence_id);
+
+  /// Downstream instance `down_instance` checkpointed through `position` of
+  /// this instance's origin; trim the output buffer when all current
+  /// partitions of `down_op` have acknowledged (Algorithm 1 line 4).
+  void OnTrimAck(OperatorId down_op, InstanceId down_instance,
+                 int64_t position);
+
+  /// Drops ack entries for instances no longer routed (after scale out /
+  /// recovery replaced partitions).
+  void PruneAcks(OperatorId down_op);
+
+  /// Seeds the ack position of a freshly restored downstream instance from
+  /// its restored checkpoint, so trimming can make progress.
+  void SeedAck(OperatorId down_op, InstanceId down_instance, int64_t position);
+
+  // -------------------------------------------------------------- metrics
+
+  /// Busy time (µs of wall simulated time this VM spent serving jobs) since
+  /// the last call; the bottleneck detector's CPU utilisation signal.
+  /// Catch-up work on replayed tuples is excluded: it is transient by
+  /// construction (bounded by one checkpoint interval of backlog), and
+  /// treating it as load would make every fresh partition look like a
+  /// bottleneck and trigger split storms.
+  double TakeBusyMicros();
+
+  size_t queued_tuples() const { return queued_tuples_; }
+  uint64_t processed_tuples() const { return processed_tuples_; }
+
+  /// Per-tuple cost of this instance on the reference core, µs.
+  double CostMicrosPerTuple() const;
+
+ private:
+  friend class Cluster;
+
+  struct Job {
+    enum class Kind { kBatch, kCheckpoint, kTimer };
+    Kind kind = Kind::kBatch;
+    core::TupleBatch batch;                       // kBatch
+    std::unique_ptr<core::StateCheckpoint> ckpt;  // kCheckpoint (snapshot)
+    std::vector<std::pair<int, core::Tuple>> timer_emissions;  // kTimer
+    double cost_us = 0;
+  };
+
+  class EmitCollector;
+
+  void EnqueueJob(Job job);
+  void TryStartJob();
+  void FinishJob(Job* job);
+  void ProcessBatch(core::TupleBatch* batch);
+  void ConsumeAtSink(core::TupleBatch* batch);
+  void FlushEmissions(std::vector<std::pair<int, core::Tuple>>* emissions,
+                      const std::vector<bool>* suppressed);
+  void ScheduleCheckpointTimer();
+  void ScheduleWindowTimer();
+  void ScheduleSourceTick();
+  void ScheduleAgeTrim();
+  void MaybeTrim(OperatorId down_op);
+  bool BuffersTo(OperatorId down_op) const;
+
+  Cluster* cluster_;
+  Params p_;
+  core::OriginId origin_;
+
+  std::unique_ptr<core::Operator> operator_;
+  std::unique_ptr<core::SourceGenerator> source_;
+  std::unique_ptr<core::SinkConsumer> sink_;
+
+  bool alive_ = true;
+  bool stopped_ = false;
+  bool checkpoints_suspended_ = false;
+  SimTime died_at_ = 0;
+  bool paused_ = false;
+  bool busy_ = false;
+
+  std::deque<Job> queue_;
+  size_t queued_tuples_ = 0;
+
+  core::InputPositions positions_;
+  core::InputPositions suppress_until_;
+  bool suppressing_ = false;
+
+  core::BufferState buffer_;
+  // Per downstream logical op: last checkpoint-acknowledged position of each
+  // current downstream instance (this instance's origin timestamps).
+  std::map<OperatorId, std::map<InstanceId, int64_t>> acks_;
+  // Per downstream logical op: highest timestamp sent to each downstream
+  // instance. A destination only constrains buffer trimming while it has
+  // outstanding (sent > acked) tuples; destinations that never receive
+  // tuples from this partition (key-preserving operators route each
+  // upstream partition to few downstream partitions) must not block trims.
+  std::map<OperatorId, std::map<InstanceId, int64_t>> sent_;
+
+  int64_t out_clock_ = 0;
+  uint64_t ckpt_seq_ = 0;
+  // Highest buffered timestamp shipped per downstream op (delta checkpoint
+  // bookkeeping).
+  std::map<OperatorId, int64_t> shipped_buffer_back_;
+  double busy_accum_us_ = 0;
+  uint64_t processed_tuples_ = 0;
+  SimTime owed_source_time_ = 0;  // generation backlog while paused
+  std::vector<OperatorId> downstream_ops_;  // port order (graph edge order)
+};
+
+}  // namespace seep::runtime
+
+#endif  // SEEP_RUNTIME_OPERATOR_INSTANCE_H_

@@ -1,0 +1,36 @@
+#include "serde/crc32c.h"
+
+#include <array>
+
+namespace seep::serde {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected CRC-32C polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace seep::serde

@@ -1,0 +1,16 @@
+#ifndef SEEP_SERDE_CRC32C_H_
+#define SEEP_SERDE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seep::serde {
+
+/// CRC-32C (Castagnoli) over `n` bytes, starting from `init` (pass the
+/// previous value to extend a running checksum). Software table
+/// implementation; used to frame checkpoints and detect corruption.
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace seep::serde
+
+#endif  // SEEP_SERDE_CRC32C_H_

@@ -1,0 +1,105 @@
+#ifndef SEEP_SERDE_DECODER_H_
+#define SEEP_SERDE_DECODER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace seep::serde {
+
+/// Reads values written by Encoder. All reads are bounds-checked and report
+/// truncation/corruption as Status rather than crashing, since checkpoints
+/// can arrive damaged from a failing VM.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data)
+      : data_(reinterpret_cast<const uint8_t*>(data.data())),
+        size_(data.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  Result<uint8_t> ReadU8() {
+    if (pos_ + 1 > size_) return Truncated("u8");
+    return data_[pos_++];
+  }
+
+  Result<uint32_t> ReadFixed32() {
+    if (pos_ + 4 > size_) return Truncated("fixed32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadFixed64() {
+    if (pos_ + 8 > size_) return Truncated("fixed64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint64_t> ReadVarint64() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Truncated("varint");
+      if (shift >= 64) {
+        return Status::Corruption("varint too long");
+      }
+      const uint8_t byte = data_[pos_++];
+      v |= uint64_t(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  Result<int64_t> ReadVarintSigned64() {
+    auto raw = ReadVarint64();
+    if (!raw.ok()) return raw.status();
+    const uint64_t u = raw.value();
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  Result<double> ReadDouble() {
+    auto bits = ReadFixed64();
+    if (!bits.ok()) return bits.status();
+    double v;
+    const uint64_t b = bits.value();
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    auto len = ReadVarint64();
+    if (!len.ok()) return len.status();
+    if (pos_ + len.value() > size_) return Truncated("string body");
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<size_t>(len.value()));
+    pos_ += static_cast<size_t>(len.value());
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::Corruption(std::string("truncated input reading ") + what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace seep::serde
+
+#endif  // SEEP_SERDE_DECODER_H_

@@ -1,0 +1,73 @@
+#ifndef SEEP_SERDE_ENCODER_H_
+#define SEEP_SERDE_ENCODER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seep::serde {
+
+/// Appends primitive values to a growing byte buffer in a fixed,
+/// architecture-independent little-endian format. Checkpoints, tuples and
+/// operator state all use this codec, so checkpoint sizes (which drive the
+/// paper's Fig. 14 overhead study) reflect real encoded bytes.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void AppendU8(uint8_t v) { buf_.push_back(v); }
+
+  void AppendFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+
+  void AppendFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+
+  /// LEB128 variable-length unsigned integer.
+  void AppendVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(uint8_t(v));
+  }
+
+  /// ZigZag-mapped signed varint (small magnitudes stay small).
+  void AppendVarintSigned64(int64_t v) {
+    AppendVarint64((static_cast<uint64_t>(v) << 1) ^
+                   static_cast<uint64_t>(v >> 63));
+  }
+
+  void AppendDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendFixed64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void AppendString(std::string_view s) {
+    AppendVarint64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void AppendRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace seep::serde
+
+#endif  // SEEP_SERDE_ENCODER_H_

@@ -1,0 +1,34 @@
+#include "serde/frame.h"
+
+#include "serde/crc32c.h"
+#include "serde/decoder.h"
+#include "serde/encoder.h"
+
+namespace seep::serde {
+
+std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload) {
+  Encoder enc;
+  enc.AppendFixed64(payload.size());
+  enc.AppendFixed32(Crc32c(payload.data(), payload.size()));
+  enc.AppendRaw(payload.data(), payload.size());
+  return std::move(enc).TakeBuffer();
+}
+
+Result<std::vector<uint8_t>> UnframePayload(
+    const std::vector<uint8_t>& frame) {
+  Decoder dec(frame);
+  auto len = dec.ReadFixed64();
+  if (!len.ok()) return len.status();
+  auto crc = dec.ReadFixed32();
+  if (!crc.ok()) return crc.status();
+  if (dec.remaining() != len.value()) {
+    return Status::Corruption("frame length mismatch");
+  }
+  std::vector<uint8_t> payload(frame.begin() + dec.position(), frame.end());
+  if (Crc32c(payload.data(), payload.size()) != crc.value()) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace seep::serde

@@ -1,0 +1,21 @@
+#ifndef SEEP_SERDE_FRAME_H_
+#define SEEP_SERDE_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seep::serde {
+
+/// Wraps a payload in a [length | crc32c | payload] frame. Checkpoints cross
+/// the (simulated) network framed so the restore path can verify integrity.
+std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload);
+
+/// Validates and strips a frame produced by FramePayload. Returns Corruption
+/// on length/CRC mismatch.
+Result<std::vector<uint8_t>> UnframePayload(const std::vector<uint8_t>& frame);
+
+}  // namespace seep::serde
+
+#endif  // SEEP_SERDE_FRAME_H_

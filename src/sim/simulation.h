@@ -1,0 +1,81 @@
+#ifndef SEEP_SIM_SIMULATION_H_
+#define SEEP_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/time.h"
+
+namespace seep::sim {
+
+/// Handle for a scheduled event, usable with Simulation::Cancel. Value 0 is
+/// never issued.
+using EventId = uint64_t;
+
+/// Deterministic discrete-event executor. Events fire in (time, insertion
+/// sequence) order, so two runs that schedule identically behave identically.
+/// This is the substrate that replaces the paper's EC2 deployment: simulated
+/// VMs, network links and coordinators all schedule their work here.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at Now() + delay (delay >= 0).
+  EventId Schedule(SimTime delay, std::function<void()> fn) {
+    SEEP_CHECK_GE(delay, 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time >= Now().
+  EventId ScheduleAt(SimTime at, std::function<void()> fn) {
+    SEEP_CHECK_GE(at, now_);
+    const EventId id = ++next_id_;
+    queue_.push(Event{at, id, std::move(fn)});
+    return id;
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (the id space is never reused, so this is safe).
+  void Cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs events until the queue is empty or `until` is reached (whichever is
+  /// first); Now() advances to `until` even if the queue drains early.
+  void RunUntil(SimTime until);
+
+  /// Runs all pending events to quiescence.
+  void RunAll();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    mutable std::function<void()> fn;  // moved out when the event fires
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  bool FireNext();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace seep::sim
+
+#endif  // SEEP_SIM_SIMULATION_H_

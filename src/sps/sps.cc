@@ -1,0 +1,81 @@
+#include "sps/sps.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seep::sps {
+
+Sps::Sps(core::QueryGraph graph, SpsConfig config)
+    : graph_(std::move(graph)), config_(config) {
+  cluster_ = std::make_unique<runtime::Cluster>(&graph_, config_.cluster);
+  scale_out_ = std::make_unique<control::ScaleOutCoordinator>(
+      cluster_.get(), config_.coordinator);
+  bottleneck_ = std::make_unique<control::BottleneckDetector>(
+      cluster_.get(), scale_out_.get(), config_.scaling);
+  recovery_ = std::make_unique<control::RecoveryCoordinator>(
+      cluster_.get(), scale_out_.get(), config_.failure_detector,
+      config_.recovery);
+  deployment_ = std::make_unique<control::DeploymentManager>(cluster_.get());
+}
+
+Sps::~Sps() = default;
+
+Status Sps::Deploy() {
+  if (deployed_) return Status::FailedPrecondition("already deployed");
+  SEEP_RETURN_IF_ERROR(deployment_->DeployAll(config_.initial_parallelism));
+  bottleneck_->Start();
+  recovery_->Start();
+  deployed_ = true;
+  return Status::OK();
+}
+
+void Sps::RunFor(double seconds) {
+  cluster_->simulation()->RunUntil(cluster_->Now() + SecondsToSim(seconds));
+}
+
+void Sps::RunUntil(double t_seconds) {
+  const SimTime target = SecondsToSim(t_seconds);
+  if (target > cluster_->Now()) cluster_->simulation()->RunUntil(target);
+}
+
+void Sps::InjectFailure(OperatorId op, double at_seconds) {
+  cluster_->simulation()->ScheduleAt(SecondsToSim(at_seconds), [this, op]() {
+    const Status status = cluster_->KillOperator(op);
+    if (!status.ok()) {
+      SEEP_LOG(kWarn, cluster_->Now())
+          << "failure injection on op " << op
+          << " failed: " << status.ToString();
+    }
+  });
+}
+
+void Sps::RequestScaleOut(OperatorId op, double at_seconds) {
+  cluster_->simulation()->ScheduleAt(SecondsToSim(at_seconds), [this, op]() {
+    const auto live = cluster_->LiveInstancesOf(op);
+    if (live.empty()) return;
+    scale_out_->ScaleOutInstance(live.back(), 2, /*recovery=*/false);
+  });
+}
+
+void Sps::RequestScaleIn(OperatorId op, double at_seconds) {
+  cluster_->simulation()->ScheduleAt(SecondsToSim(at_seconds), [this, op]() {
+    scale_out_->ScaleIn(op);
+  });
+}
+
+double Sps::NowSeconds() const { return SimToSeconds(cluster_->Now()); }
+
+uint32_t Sps::ParallelismOf(OperatorId op) const {
+  return static_cast<uint32_t>(cluster_->LiveInstancesOf(op).size());
+}
+
+size_t Sps::VmsInUse() const {
+  size_t n = 0;
+  for (const auto& [id, inst] : cluster_->instances()) {
+    if (inst->alive() && !inst->stopped()) ++n;
+  }
+  return n;
+}
+
+}  // namespace seep::sps

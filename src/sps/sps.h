@@ -1,0 +1,96 @@
+#ifndef SEEP_SPS_SPS_H_
+#define SEEP_SPS_SPS_H_
+
+#include <map>
+#include <memory>
+
+#include "control/bottleneck_detector.h"
+#include "control/deployment_manager.h"
+#include "control/recovery_coordinator.h"
+#include "control/scale_out_coordinator.h"
+#include "core/query_graph.h"
+#include "runtime/cluster.h"
+
+namespace seep::sps {
+
+/// Top-level configuration: the cluster substrate plus every control-plane
+/// policy knob (checkpoint interval c, report interval r, threshold δ,
+/// consecutive reports k, VM pool size p, recovery parallelism, ...).
+struct SpsConfig {
+  runtime::ClusterConfig cluster;
+  control::ScalingPolicyConfig scaling;
+  control::CoordinatorConfig coordinator;
+  control::FailureDetectorConfig failure_detector;
+  control::RecoveryConfig recovery;
+
+  /// Initial parallelism per logical operator (manual scale-out experiments,
+  /// Fig. 10). Operators not listed start with one instance.
+  std::map<OperatorId, uint32_t> initial_parallelism;
+};
+
+/// The stream processing system: a deployed query plus the integrated
+/// scale-out/fault-tolerance machinery of the paper. This is the public
+/// entry point used by examples, tests and benches:
+///
+///   core::QueryGraph q;
+///   ... build query ...
+///   sps::Sps sps(std::move(q), config);
+///   SEEP_CHECK(sps.Deploy().ok());
+///   sps.InjectFailure(counter_op, /*at_seconds=*/60);
+///   sps.RunFor(120);
+///   ... read sps.metrics() ...
+class Sps {
+ public:
+  Sps(core::QueryGraph graph, SpsConfig config);
+  ~Sps();
+
+  Sps(const Sps&) = delete;
+  Sps& operator=(const Sps&) = delete;
+
+  /// Provisions VMs, deploys the execution graph, pre-fills the VM pool and
+  /// starts the detectors. Call once, before RunFor.
+  Status Deploy();
+
+  /// Advances simulated time by `seconds`.
+  void RunFor(double seconds);
+
+  /// Advances simulated time up to absolute second `t`.
+  void RunUntil(double t_seconds);
+
+  /// Schedules a crash-stop of the VM hosting the (first live) instance of
+  /// `op` at absolute time `at_seconds`.
+  void InjectFailure(OperatorId op, double at_seconds);
+
+  /// Schedules a manual scale-out of `op` (partitioning its most recent
+  /// instance in two) at absolute time `at_seconds`.
+  void RequestScaleOut(OperatorId op, double at_seconds);
+
+  /// Schedules a manual scale-in of `op` at absolute time `at_seconds`.
+  void RequestScaleIn(OperatorId op, double at_seconds);
+
+  double NowSeconds() const;
+  uint32_t ParallelismOf(OperatorId op) const;
+  size_t VmsInUse() const;
+
+  runtime::MetricsRegistry& metrics() { return *cluster_->metrics(); }
+  runtime::Cluster& cluster() { return *cluster_; }
+  control::ScaleOutCoordinator& scale_out_coordinator() {
+    return *scale_out_;
+  }
+  control::RecoveryCoordinator& recovery_coordinator() { return *recovery_; }
+  const core::QueryGraph& graph() const { return graph_; }
+
+ private:
+  core::QueryGraph graph_;
+  SpsConfig config_;
+  std::unique_ptr<runtime::Cluster> cluster_;
+  std::unique_ptr<control::ScaleOutCoordinator> scale_out_;
+  std::unique_ptr<control::BottleneckDetector> bottleneck_;
+  std::unique_ptr<control::RecoveryCoordinator> recovery_;
+  std::unique_ptr<control::DeploymentManager> deployment_;
+  bool deployed_ = false;
+};
+
+}  // namespace seep::sps
+
+#endif  // SEEP_SPS_SPS_H_

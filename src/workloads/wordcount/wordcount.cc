@@ -1,0 +1,240 @@
+#include "workloads/wordcount/wordcount.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "serde/decoder.h"
+#include "serde/encoder.h"
+
+namespace seep::workloads::wordcount {
+
+// -------------------------------------------------------------------- source
+
+SentenceSource::SentenceSource(const WordCountConfig& config, uint32_t index,
+                               uint32_t count)
+    : config_(config),
+      count_(count),
+      rng_(HashCombine(config.seed, index)) {}
+
+double SentenceSource::TargetRate(SimTime now) const {
+  const double total = config_.rate_fn
+                           ? config_.rate_fn(SimToSeconds(now))
+                           : config_.rate_tuples_per_sec;
+  return total / static_cast<double>(count_);
+}
+
+void SentenceSource::GenerateBatch(SimTime now, SimTime dt,
+                                   core::Collector* emit) {
+  const double want = TargetRate(now) * SimToSeconds(dt) + carry_;
+  const auto n = static_cast<size_t>(want);
+  carry_ = want - static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    core::Tuple t;
+    t.event_time = now;
+    t.key = rng_.Next();
+    std::string sentence;
+    sentence.reserve(config_.words_per_sentence * 8);
+    for (size_t w = 0; w < config_.words_per_sentence; ++w) {
+      if (w > 0) sentence += ' ';
+      sentence += WordAt(rng_.NextZipf(config_.vocabulary, config_.zipf_skew));
+    }
+    t.text = std::move(sentence);
+    emit->Emit(std::move(t));
+  }
+}
+
+// ------------------------------------------------------------------ splitter
+
+void WordSplitter::Process(const core::Tuple& input, core::Collector* out) {
+  size_t start = 0;
+  const std::string& s = input.text;
+  while (start < s.size()) {
+    size_t end = s.find(' ', start);
+    if (end == std::string::npos) end = s.size();
+    if (end > start) {
+      core::Tuple word;
+      word.event_time = input.event_time;
+      word.text = s.substr(start, end - start);
+      word.key = HashBytes(word.text);
+      out->Emit(std::move(word));
+    }
+    start = end + 1;
+  }
+}
+
+// ------------------------------------------------------------------- counter
+
+void WordCounter::Process(const core::Tuple& input, core::Collector* out) {
+  const int64_t window =
+      input.event_time / std::max<SimTime>(1, config_.window);
+  const int64_t count = ++counts_[input.text][window].count;
+  dirty_words_.insert(input.text);
+  if (config_.probe_every_n > 0 &&
+      ++inputs_since_probe_ >= config_.probe_every_n) {
+    inputs_since_probe_ = 0;
+    core::Tuple probe;
+    probe.key = input.key;
+    probe.event_time = input.event_time;
+    probe.text = input.text;
+    probe.ints = {window, count, /*final=*/0, 0};
+    out->Emit(std::move(probe));
+  }
+}
+
+void WordCounter::OnTimer(SimTime now, core::Collector* out) {
+  const SimTime window = std::max<SimTime>(1, config_.window);
+  const int64_t current = now / window;
+  for (auto& [word, windows] : counts_) {
+    for (auto it = windows.begin(); it != windows.end();) {
+      auto& [win, cell] = *it;
+      if (win >= current) {
+        ++it;
+        continue;  // window still open
+      }
+      // Emit a final only when the window changed since the last emission
+      // (replayed stragglers re-dirty a window and trigger a corrected
+      // final on the next timer).
+      if (cell.count != cell.emitted) {
+        core::Tuple result;
+        result.key = HashBytes(word);
+        result.event_time = (win + 1) * window;
+        result.text = word;
+        result.ints = {win, cell.count, /*final=*/1, 0};
+        result.latency_sample = false;  // periodic output, not per-tuple path
+        out->Emit(std::move(result));
+        cell.emitted = cell.count;
+      }
+      // Retain recently closed windows so late tuples re-accumulate.
+      if (win < current - config_.retained_windows) {
+        dirty_words_.insert(word);
+        it = windows.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  std::erase_if(counts_, [this](const auto& kv) {
+    if (!kv.second.empty()) return false;
+    removed_words_.insert(kv.first);
+    dirty_words_.erase(kv.first);
+    return true;
+  });
+}
+
+std::string WordCounter::EncodeWordEntry(const std::string& word) const {
+  const auto& windows = counts_.at(word);
+  serde::Encoder enc;
+  enc.AppendString(word);
+  enc.AppendVarint64(windows.size());
+  for (const auto& [win, cell] : windows) {
+    enc.AppendVarintSigned64(win);
+    enc.AppendVarintSigned64(cell.count);
+  }
+  return std::string(enc.buffer().begin(), enc.buffer().end());
+}
+
+core::ProcessingState WordCounter::GetProcessingState() const {
+  core::ProcessingState state;
+  for (const auto& [word, windows] : counts_) {
+    state.Add(HashBytes(word), EncodeWordEntry(word));
+  }
+  return state;
+}
+
+core::StateDelta WordCounter::TakeProcessingStateDelta() {
+  core::StateDelta delta;
+  for (const std::string& word : dirty_words_) {
+    if (counts_.contains(word)) {
+      delta.updated.Add(HashBytes(word), EncodeWordEntry(word));
+    }
+  }
+  for (const std::string& word : removed_words_) {
+    delta.deleted.push_back(HashBytes(word));
+  }
+  ClearStateDelta();
+  return delta;
+}
+
+void WordCounter::ClearStateDelta() {
+  dirty_words_.clear();
+  removed_words_.clear();
+}
+
+void WordCounter::SetProcessingState(const core::ProcessingState& state) {
+  counts_.clear();
+  ClearStateDelta();
+  MergeProcessingState(state);
+  // Restored state equals the checkpoint it came from: nothing is dirty
+  // relative to that base.
+  ClearStateDelta();
+}
+
+void WordCounter::MergeProcessingState(const core::ProcessingState& state) {
+  for (const auto& [key, value] : state.entries()) {
+    serde::Decoder dec(value);
+    auto word = dec.ReadString();
+    SEEP_CHECK(word.ok());
+    auto n = dec.ReadVarint64();
+    SEEP_CHECK(n.ok());
+    auto& windows = counts_[word.value()];
+    dirty_words_.insert(word.value());
+    for (uint64_t i = 0; i < n.value(); ++i) {
+      auto win = dec.ReadVarintSigned64();
+      auto count = dec.ReadVarintSigned64();
+      SEEP_CHECK(win.ok() && count.ok());
+      // Restored/merged state counts as un-emitted so the next timer emits
+      // (or re-emits) the final; the sink's max-merge keeps this idempotent.
+      windows[win.value()].count += count.value();
+    }
+  }
+}
+
+size_t WordCounter::StateCells() const {
+  size_t n = 0;
+  for (const auto& [word, windows] : counts_) n += windows.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------- sink
+
+void WordFrequencySink::Consume(const core::Tuple& tuple, SimTime now) {
+  ++results_->tuples_seen;
+  auto& cell = results_->counts[{tuple.ints[0], tuple.text}];
+  cell = std::max(cell, tuple.ints[1]);
+}
+
+// --------------------------------------------------------------------- query
+
+WordCountQuery BuildWordCountQuery(const WordCountConfig& config) {
+  WordCountQuery q;
+  q.results = std::make_shared<WordFrequencySink::Results>();
+
+  q.source = q.graph.AddSource(
+      "sentence-source",
+      [config](uint32_t index, uint32_t count) {
+        return std::make_unique<SentenceSource>(config, index, count);
+      },
+      config.source_cost_us);
+  q.splitter = q.graph.AddOperator(
+      "word-splitter",
+      [config]() { return std::make_unique<WordSplitter>(
+          config.splitter_cost_us); },
+      /*stateful=*/false);
+  q.counter = q.graph.AddOperator(
+      "word-counter",
+      [config]() { return std::make_unique<WordCounter>(config); },
+      /*stateful=*/true);
+  q.sink = q.graph.AddSink(
+      "sink",
+      [results = q.results]() {
+        return std::make_unique<WordFrequencySink>(results);
+      },
+      config.sink_cost_us);
+
+  SEEP_CHECK(q.graph.Connect(q.source, q.splitter).ok());
+  SEEP_CHECK(q.graph.Connect(q.splitter, q.counter).ok());
+  SEEP_CHECK(q.graph.Connect(q.counter, q.sink).ok());
+  return q;
+}
+
+}  // namespace seep::workloads::wordcount

@@ -1,0 +1,67 @@
+// Unit tests for the checkpoint backup directory (the paper's backup(o)
+// bookkeeping: store, supersede, retrieve, and loss on holder failure).
+
+#include <gtest/gtest.h>
+
+#include "runtime/backup_store.h"
+
+namespace seep::runtime {
+namespace {
+
+core::StateCheckpoint Ckpt(InstanceId owner, uint64_t seq) {
+  core::StateCheckpoint c;
+  c.instance = owner;
+  c.seq = seq;
+  return c;
+}
+
+TEST(BackupStoreTest, StoreAndRetrieve) {
+  BackupStore store;
+  EXPECT_FALSE(store.Has(1));
+  EXPECT_EQ(store.HolderOf(1), kInvalidInstance);
+  store.Store(1, 10, Ckpt(1, 5));
+  ASSERT_TRUE(store.Has(1));
+  auto entry = store.Retrieve(1);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->holder, 10u);
+  EXPECT_EQ(entry->checkpoint.seq, 5u);
+}
+
+TEST(BackupStoreTest, NewerStoreSupersedes) {
+  BackupStore store;
+  store.Store(1, 10, Ckpt(1, 5));
+  // Algorithm 1 lines 5-6: a re-backup (possibly at another holder)
+  // replaces the old copy.
+  store.Store(1, 11, Ckpt(1, 6));
+  auto entry = store.Retrieve(1);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->holder, 11u);
+  EXPECT_EQ(entry->checkpoint.seq, 6u);
+}
+
+TEST(BackupStoreTest, RetrieveMissingIsNotFound) {
+  BackupStore store;
+  EXPECT_TRUE(store.Retrieve(99).status().IsNotFound());
+}
+
+TEST(BackupStoreTest, DropHeldByLosesOnlyThatHoldersBackups) {
+  BackupStore store;
+  store.Store(1, 10, Ckpt(1, 1));
+  store.Store(2, 10, Ckpt(2, 1));
+  store.Store(3, 11, Ckpt(3, 1));
+  EXPECT_EQ(store.DropHeldBy(10), 2u);
+  EXPECT_FALSE(store.Has(1));
+  EXPECT_FALSE(store.Has(2));
+  EXPECT_TRUE(store.Has(3));
+}
+
+TEST(BackupStoreTest, DeleteRemovesEntry) {
+  BackupStore store;
+  store.Store(1, 10, Ckpt(1, 1));
+  store.Delete(1);
+  EXPECT_FALSE(store.Has(1));
+  store.Delete(1);  // idempotent
+}
+
+}  // namespace
+}  // namespace seep::runtime

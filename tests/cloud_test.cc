@@ -1,0 +1,163 @@
+// Unit tests for the cloud substrate: VM lifecycle, provisioning delays,
+// billing, and the VM pool's grant/refill/stall behaviour (paper §5.2).
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_provider.h"
+#include "cloud/vm_pool.h"
+#include "sim/simulation.h"
+
+namespace seep::cloud {
+namespace {
+
+CloudProviderConfig SlowProvider() {
+  CloudProviderConfig cfg;
+  cfg.provision_delay_mean = SecondsToSim(90);
+  cfg.provision_jitter = 0;  // deterministic timings for assertions
+  return cfg;
+}
+
+TEST(CloudProviderTest, ProvisioningTakesConfiguredDelay) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  SimTime granted_at = -1;
+  provider.RequestVm([&](VmId id) { granted_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(granted_at, SecondsToSim(90));
+}
+
+TEST(CloudProviderTest, ImmediateRequestIsSynchronous) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  const VmId id = provider.RequestVmImmediate();
+  const Vm* vm = provider.GetVm(id);
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(vm->state, VmState::kPooled);
+}
+
+TEST(CloudProviderTest, LifecycleTransitions) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  const VmId id = provider.RequestVmImmediate();
+  EXPECT_TRUE(provider.MarkInUse(id).ok());
+  EXPECT_EQ(provider.GetVm(id)->state, VmState::kInUse);
+  EXPECT_FALSE(provider.MarkInUse(id).ok());  // not pooled any more
+  EXPECT_TRUE(provider.KillVm(id).ok());
+  EXPECT_EQ(provider.GetVm(id)->state, VmState::kFailed);
+  EXPECT_FALSE(provider.KillVm(id).ok());     // already dead
+  EXPECT_FALSE(provider.ReleaseVm(id).ok());  // already dead
+}
+
+TEST(CloudProviderTest, UnknownVmRejected) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  EXPECT_TRUE(provider.KillVm(12345).IsNotFound());
+}
+
+TEST(CloudProviderTest, BillingAccruesUntilRelease) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  const VmId id = provider.RequestVmImmediate();
+  sim.RunUntil(SecondsToSim(100));
+  EXPECT_TRUE(provider.ReleaseVm(id).ok());
+  sim.RunUntil(SecondsToSim(500));
+  EXPECT_DOUBLE_EQ(provider.BilledVmSeconds(), 100.0);
+}
+
+TEST(CloudProviderTest, KillDuringProvisioningNeverGrants) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  bool granted = false;
+  provider.RequestVm([&](VmId) { granted = true; });
+  // The requested VM has id 0; kill it while it is still booting.
+  sim.Schedule(SecondsToSim(10), [&] { EXPECT_TRUE(provider.KillVm(0).ok()); });
+  sim.RunAll();
+  EXPECT_FALSE(granted);
+}
+
+// ------------------------------------------------------------------ VM pool
+
+TEST(VmPoolTest, GrantFromPrefilledPoolIsFast) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  VmPoolConfig cfg;
+  cfg.target_size = 2;
+  cfg.grant_delay = SecondsToSim(2);
+  VmPool pool(&sim, &provider, cfg);
+  pool.PrefillImmediate();
+  ASSERT_EQ(pool.available(), 2u);
+
+  SimTime granted_at = -1;
+  pool.Acquire([&](VmId id) {
+    granted_at = sim.Now();
+    EXPECT_EQ(provider.GetVm(id)->state, VmState::kInUse);
+  });
+  sim.RunAll();
+  EXPECT_EQ(granted_at, SecondsToSim(2));
+}
+
+TEST(VmPoolTest, ExhaustedPoolStallsUntilProvisioning) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  VmPoolConfig cfg;
+  cfg.target_size = 1;
+  cfg.grant_delay = SecondsToSim(2);
+  VmPool pool(&sim, &provider, cfg);
+  pool.PrefillImmediate();
+
+  std::vector<SimTime> grants;
+  pool.Acquire([&](VmId) { grants.push_back(sim.Now()); });  // from pool
+  pool.Acquire([&](VmId) { grants.push_back(sim.Now()); });  // must wait
+  sim.RunAll();
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0], SecondsToSim(2));
+  // Second grant waits ~90 s provisioning + 2 s grant.
+  EXPECT_GE(grants[1], SecondsToSim(90));
+  // Wait-time stats recorded one sample per grant.
+  EXPECT_EQ(pool.wait_times().count(), 2u);
+  EXPECT_GT(pool.wait_times().Max(), 89.0);
+}
+
+TEST(VmPoolTest, RefillsAfterGrants) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  VmPoolConfig cfg;
+  cfg.target_size = 2;
+  cfg.grant_delay = SecondsToSim(1);
+  VmPool pool(&sim, &provider, cfg);
+  pool.PrefillImmediate();
+  pool.Acquire([](VmId) {});
+  sim.RunAll();
+  // After the asynchronous refill completes the pool is back at target.
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(VmPoolTest, ShrinkReleasesSurplus) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  VmPoolConfig cfg;
+  cfg.target_size = 4;
+  VmPool pool(&sim, &provider, cfg);
+  pool.PrefillImmediate();
+  EXPECT_EQ(pool.available(), 4u);
+  pool.SetTargetSize(1);
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(provider.num_live(), 1u);
+}
+
+TEST(VmPoolTest, ZeroPoolAlwaysStalls) {
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  VmPoolConfig cfg;
+  cfg.target_size = 0;
+  cfg.grant_delay = SecondsToSim(1);
+  VmPool pool(&sim, &provider, cfg);
+  pool.PrefillImmediate();
+  SimTime granted_at = -1;
+  pool.Acquire([&](VmId) { granted_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_GE(granted_at, SecondsToSim(90));
+}
+
+}  // namespace
+}  // namespace seep::cloud

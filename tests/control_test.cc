@@ -1,0 +1,194 @@
+// Control-plane tests: scaling policy semantics (k consecutive reports over
+// δ), scale-out abort/retry paths, failure-detection latency, and the
+// deployment manager's initial-parallelism handling.
+
+#include <gtest/gtest.h>
+
+#include "sps/sps.h"
+#include "workloads/wordcount/wordcount.h"
+
+namespace seep::control {
+namespace {
+
+using workloads::wordcount::BuildWordCountQuery;
+using workloads::wordcount::WordCountConfig;
+using workloads::wordcount::WordCountQuery;
+
+WordCountConfig HeavyCounter(double rate, double counter_cost_us) {
+  WordCountConfig wc;
+  wc.rate_tuples_per_sec = rate;
+  wc.words_per_sentence = 1;  // 1 word per tuple keeps rates predictable
+  wc.vocabulary = 64;
+  wc.counter_cost_us = counter_cost_us;
+  wc.seed = 23;
+  return wc;
+}
+
+TEST(ScalingPolicyTest, ScalesOutOnlyAfterKConsecutiveReports) {
+  // Counter at ~90% utilisation: 300 t/s * 3000 µs = 0.9.
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(300, 3000));
+  const OperatorId counter = query.counter;
+
+  sps::SpsConfig config;
+  config.scaling.enabled = true;
+  config.scaling.report_interval = SecondsToSim(5);
+  config.scaling.consecutive_reports = 2;
+  config.scaling.threshold = 0.7;
+  config.cluster.pool.grant_delay = SecondsToSim(1);
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+
+  // After one report (t=5) nothing can have happened yet; after the second
+  // (t=10) the scale-out fires and completes shortly after.
+  sps.RunUntil(6);
+  EXPECT_EQ(sps.ParallelismOf(counter), 1u);
+  EXPECT_TRUE(sps.metrics().scale_outs.empty());
+  sps.RunUntil(30);
+  EXPECT_EQ(sps.ParallelismOf(counter), 2u);
+  ASSERT_EQ(sps.metrics().scale_outs.size(), 1u);
+  EXPECT_EQ(sps.metrics().scale_outs[0].op, counter);
+  EXPECT_GE(sps.metrics().scale_outs[0].at, SecondsToSim(10));
+}
+
+TEST(ScalingPolicyTest, BelowThresholdNeverScales) {
+  // ~30% utilisation.
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(300, 1000));
+  sps::SpsConfig config;
+  config.scaling.enabled = true;
+  config.scaling.threshold = 0.7;
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunFor(60);
+  EXPECT_TRUE(sps.metrics().scale_outs.empty());
+}
+
+TEST(ScalingPolicyTest, VmCapBoundsScaleOut) {
+  // Grossly overloaded: would scale forever without the cap.
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(500, 20000));
+  sps::SpsConfig config;
+  config.scaling.enabled = true;
+  config.scaling.max_vms = 5;  // src + splitter + counter + sink = 4 used
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunFor(120);
+  EXPECT_LE(sps.VmsInUse(), 5u);
+}
+
+TEST(ScaleOutCoordinatorTest, GracefulScaleOutWithoutBackupAborts) {
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(100, 100));
+  const OperatorId counter = query.counter;
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  // Checkpoint far in the future: no backup exists at t=5.
+  config.cluster.checkpoint_interval = SecondsToSim(1000);
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunUntil(5);
+
+  Status result;
+  ScaleOutCoordinator::Callbacks callbacks;
+  callbacks.on_done = [&](Status s) { result = std::move(s); };
+  const InstanceId target = sps.cluster().LiveInstancesOf(counter).at(0);
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(callbacks));
+  sps.RunFor(10);
+  EXPECT_TRUE(result.IsUnavailable());
+  EXPECT_EQ(sps.ParallelismOf(counter), 1u);
+  EXPECT_EQ(sps.scale_out_coordinator().aborted_scale_outs(), 1u);
+}
+
+TEST(ScaleOutCoordinatorTest, ConcurrentOperationsOnSameOpRejected) {
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(100, 100));
+  const OperatorId counter = query.counter;
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.cluster.checkpoint_interval = SecondsToSim(2);
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunUntil(10);
+
+  Status second_result;
+  const InstanceId target = sps.cluster().LiveInstancesOf(counter).at(0);
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false);
+  ScaleOutCoordinator::Callbacks callbacks;
+  callbacks.on_done = [&](Status s) { second_result = std::move(s); };
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(callbacks));
+  EXPECT_TRUE(sps.scale_out_coordinator().InProgress(counter));
+  sps.RunFor(30);
+  EXPECT_TRUE(second_result.IsAborted());
+  EXPECT_EQ(sps.ParallelismOf(counter), 2u);  // first one went through
+}
+
+TEST(FailureDetectorTest, DetectionWithinConfiguredHeartbeats) {
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(100, 100));
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.failure_detector.heartbeat_interval = MillisToSim(500);
+  config.failure_detector.missed_heartbeats = 2;
+  const OperatorId counter = query.counter;
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.InjectFailure(counter, 20.0);
+  sps.RunFor(60);
+
+  ASSERT_EQ(sps.metrics().recoveries.size(), 1u);
+  const auto& r = sps.metrics().recoveries[0];
+  EXPECT_EQ(r.failed_at, SecondsToSim(20));
+  const double detect_s = SimToSeconds(r.detected_at - r.failed_at);
+  EXPECT_GT(detect_s, 0.4);
+  EXPECT_LE(detect_s, 1.1);
+}
+
+TEST(FailureDetectorTest, DisabledDetectorNeverRecovers) {
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(100, 100));
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.failure_detector.enabled = false;
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.InjectFailure(query.counter, 20.0);
+  sps.RunFor(60);
+  EXPECT_TRUE(sps.metrics().recoveries.empty());
+}
+
+TEST(DeploymentTest, InitialParallelismSplitsKeySpace) {
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(100, 100));
+  const OperatorId counter = query.counter;
+  const OperatorId splitter = query.splitter;
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.initial_parallelism = {{counter, 4}, {splitter, 2}};
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  EXPECT_EQ(sps.ParallelismOf(counter), 4u);
+  EXPECT_EQ(sps.ParallelismOf(splitter), 2u);
+
+  // Key ranges of the partitions are disjoint and cover the space.
+  const auto ids = sps.cluster().LiveInstancesOf(counter);
+  std::vector<core::KeyRange> ranges;
+  for (InstanceId id : ids) {
+    ranges.push_back(sps.cluster().GetInstance(id)->key_range());
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const auto& a, const auto& b) { return a.lo < b.lo; });
+  EXPECT_EQ(ranges.front().lo, 0u);
+  EXPECT_EQ(ranges.back().hi, UINT64_MAX);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i - 1].hi + 1, ranges[i].lo);
+  }
+
+  // The query still computes: results arrive through all partitions.
+  sps.RunFor(40);
+  EXPECT_GT(sps.metrics().sink_tuples.total(), 0u);
+}
+
+TEST(DeploymentTest, DoubleDeployRejected) {
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(100, 100));
+  sps::Sps sps(std::move(query.graph), {});
+  ASSERT_TRUE(sps.Deploy().ok());
+  EXPECT_FALSE(sps.Deploy().ok());
+}
+
+}  // namespace
+}  // namespace seep::control

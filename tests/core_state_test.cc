@@ -1,0 +1,391 @@
+// Unit and property tests for the paper's state model (§3.1) and the
+// partition/merge primitives (Algorithm 2 and the §3.3 merge extension).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/key_range.h"
+#include "core/state.h"
+#include "core/state_ops.h"
+
+namespace seep::core {
+namespace {
+
+// ---------------------------------------------------------------- KeyRange
+
+TEST(KeyRangeTest, FullRangeContainsEverything) {
+  const KeyRange full = KeyRange::Full();
+  EXPECT_TRUE(full.Contains(0));
+  EXPECT_TRUE(full.Contains(UINT64_MAX));
+  EXPECT_TRUE(full.Contains(1ull << 63));
+}
+
+TEST(KeyRangeTest, SplitOneIsIdentity) {
+  const KeyRange r{100, 200};
+  const auto parts = r.SplitEven(1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], r);
+}
+
+class KeyRangeSplitTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KeyRangeSplitTest, SplitCoversExactlyWithoutOverlap) {
+  const uint32_t n = GetParam();
+  const KeyRange full = KeyRange::Full();
+  const auto parts = full.SplitEven(n);
+  ASSERT_EQ(parts.size(), n);
+  EXPECT_EQ(parts.front().lo, full.lo);
+  EXPECT_EQ(parts.back().hi, full.hi);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i - 1].hi + 1, parts[i].lo) << "gap or overlap at " << i;
+  }
+  // Every part is non-empty and parts are balanced within one key.
+  for (const auto& p : parts) EXPECT_LE(p.lo, p.hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, KeyRangeSplitTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16, 64, 100));
+
+TEST(KeyRangeTest, SplitAssignsEveryKeyToExactlyOnePart) {
+  Rng rng(77);
+  const auto parts = KeyRange::Full().SplitEven(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = rng.Next();
+    int owners = 0;
+    for (const auto& p : parts) owners += p.Contains(key);
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(KeyRangeTest, MergeAdjacentInvertsSplit) {
+  const KeyRange r{1000, 99999};
+  const auto parts = r.SplitEven(2);
+  EXPECT_EQ(KeyRange::MergeAdjacent(parts[0], parts[1]), r);
+}
+
+// --------------------------------------------------------- ProcessingState
+
+TEST(ProcessingStateTest, FilterByRangePartitionsEntries) {
+  ProcessingState state;
+  state.Add(10, "a");
+  state.Add(1ull << 63, "b");
+  state.Add(UINT64_MAX, "c");
+  const auto parts = KeyRange::Full().SplitEven(2);
+  const ProcessingState lo = state.FilterByRange(parts[0]);
+  const ProcessingState hi = state.FilterByRange(parts[1]);
+  EXPECT_EQ(lo.size(), 1u);
+  EXPECT_EQ(hi.size(), 2u);
+  EXPECT_EQ(lo.size() + hi.size(), state.size());
+}
+
+TEST(ProcessingStateTest, ByteSizeTracksContent) {
+  ProcessingState state;
+  EXPECT_EQ(state.ByteSize(), 0u);
+  state.Add(1, std::string(100, 'x'));
+  EXPECT_GE(state.ByteSize(), 100u);
+}
+
+TEST(ProcessingStateTest, SerdeRoundtrip) {
+  ProcessingState state;
+  state.Add(42, "hello");
+  state.Add(43, std::string("\0\1\2", 3));
+  serde::Encoder enc;
+  state.Encode(&enc);
+  serde::Decoder dec(enc.buffer());
+  auto back = ProcessingState::Decode(&dec);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value().entries()[0].second, "hello");
+  EXPECT_EQ(back.value().entries()[1].second, std::string("\0\1\2", 3));
+}
+
+// ----------------------------------------------------------- InputPositions
+
+TEST(InputPositionsTest, AdvanceDetectsDuplicates) {
+  InputPositions pos;
+  EXPECT_TRUE(pos.Advance(1, 10));
+  EXPECT_FALSE(pos.Advance(1, 10));  // duplicate
+  EXPECT_FALSE(pos.Advance(1, 5));   // older duplicate
+  EXPECT_TRUE(pos.Advance(1, 11));
+  EXPECT_TRUE(pos.Advance(2, 1));  // independent origin
+  EXPECT_EQ(pos.Get(1), 11);
+  EXPECT_EQ(pos.Get(99), -1);
+}
+
+TEST(InputPositionsTest, BoundsCombine) {
+  InputPositions a, b;
+  a.Set(1, 10);
+  a.Set(2, 5);
+  b.Set(1, 7);
+  b.Set(3, 9);
+  InputPositions lower = a;
+  lower.LowerBoundWith(b);
+  EXPECT_EQ(lower.Get(1), 7);
+  EXPECT_EQ(lower.Get(2), 5);
+  EXPECT_EQ(lower.Get(3), 9);
+  InputPositions upper = a;
+  upper.UpperBoundWith(b);
+  EXPECT_EQ(upper.Get(1), 10);
+}
+
+// -------------------------------------------------------------- BufferState
+
+Tuple MakeTuple(int64_t ts, KeyHash key, SimTime event_time = 0) {
+  Tuple t;
+  t.timestamp = ts;
+  t.key = key;
+  t.event_time = event_time;
+  return t;
+}
+
+TEST(BufferStateTest, TrimDropsPrefixByTimestamp) {
+  BufferState buffer;
+  for (int64_t ts = 1; ts <= 10; ++ts) buffer.Append(5, MakeTuple(ts, 0));
+  EXPECT_EQ(buffer.Trim(5, 4), 4u);
+  ASSERT_NE(buffer.Get(5), nullptr);
+  EXPECT_EQ(buffer.Get(5)->size(), 6u);
+  EXPECT_EQ(buffer.Get(5)->front().timestamp, 5);
+  EXPECT_EQ(buffer.Trim(5, 0), 0u);
+  EXPECT_EQ(buffer.Trim(99, 100), 0u);  // unknown downstream
+}
+
+TEST(BufferStateTest, TrimByEventTime) {
+  BufferState buffer;
+  for (int64_t i = 0; i < 10; ++i) {
+    buffer.Append(1, MakeTuple(i, 0, i * kMicrosPerSecond));
+  }
+  EXPECT_EQ(buffer.TrimByEventTime(5 * kMicrosPerSecond), 5u);
+  EXPECT_EQ(buffer.TotalTuples(), 5u);
+}
+
+TEST(BufferStateTest, SerdeRoundtrip) {
+  BufferState buffer;
+  Tuple t = MakeTuple(7, 42, 123);
+  t.text = "payload";
+  t.origin = 9;
+  buffer.Append(3, t);
+  serde::Encoder enc;
+  buffer.Encode(&enc);
+  serde::Decoder dec(enc.buffer());
+  auto back = BufferState::Decode(&dec);
+  ASSERT_TRUE(back.ok());
+  ASSERT_NE(back.value().Get(3), nullptr);
+  EXPECT_EQ(back.value().Get(3)->front().text, "payload");
+  EXPECT_EQ(back.value().Get(3)->front().origin, 9u);
+}
+
+// ------------------------------------------------------------- RoutingState
+
+TEST(RoutingStateTest, RoutesByKeyInterval) {
+  RoutingState routing;
+  const auto parts = KeyRange::Full().SplitEven(2);
+  routing.SetRoutes(7, {{parts[0], 100}, {parts[1], 101}});
+  EXPECT_EQ(routing.RouteKey(7, 0), 100u);
+  EXPECT_EQ(routing.RouteKey(7, UINT64_MAX), 101u);
+  EXPECT_EQ(routing.RouteKey(8, 0), kInvalidInstance);
+}
+
+TEST(RoutingStateTest, ReplacingRoutesTakesEffect) {
+  RoutingState routing;
+  routing.SetRoutes(1, {{KeyRange::Full(), 10}});
+  EXPECT_EQ(routing.RouteKey(1, 5), 10u);
+  routing.SetRoutes(1, {{KeyRange::Full(), 20}});
+  EXPECT_EQ(routing.RouteKey(1, 5), 20u);
+}
+
+// --------------------------------------------------------- StateCheckpoint
+
+StateCheckpoint MakeCheckpoint(uint64_t seed, size_t entries) {
+  Rng rng(seed);
+  StateCheckpoint c;
+  c.op = 3;
+  c.instance = 12;
+  c.origin = 99;
+  c.out_clock = 1234;
+  c.seq = 5;
+  c.taken_at = SecondsToSim(10);
+  c.positions.Set(1, 100);
+  c.positions.Set(2, 200);
+  for (size_t i = 0; i < entries; ++i) {
+    c.processing.Add(rng.Next(), "value-" + std::to_string(i));
+  }
+  Tuple t = MakeTuple(1000, rng.Next());
+  t.origin = 99;
+  c.buffer.Append(4, t);
+  return c;
+}
+
+TEST(StateCheckpointTest, WireRoundtripPreservesEverything) {
+  const StateCheckpoint c = MakeCheckpoint(1, 50);
+  const auto raw = c.Serialize();
+  auto back = StateCheckpoint::Deserialize(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->op, c.op);
+  EXPECT_EQ(back->instance, c.instance);
+  EXPECT_EQ(back->origin, c.origin);
+  EXPECT_EQ(back->out_clock, c.out_clock);
+  EXPECT_EQ(back->seq, c.seq);
+  EXPECT_EQ(back->positions.Get(1), 100);
+  EXPECT_EQ(back->processing.size(), 50u);
+  EXPECT_EQ(back->buffer.TotalTuples(), 1u);
+}
+
+TEST(StateCheckpointTest, CorruptedWireRejected) {
+  auto raw = MakeCheckpoint(2, 10).Serialize();
+  raw[raw.size() / 2] ^= 0x80;
+  EXPECT_FALSE(StateCheckpoint::Deserialize(raw).ok());
+}
+
+// ------------------------------------------------ Partition/Merge (Alg. 2)
+
+TEST(StateOpsTest, ChooseBackupIsDeterministicAndInRange) {
+  const std::vector<InstanceId> upstream = {5, 6, 7};
+  const InstanceId chosen = ChooseBackupInstance(42, upstream);
+  EXPECT_EQ(chosen, ChooseBackupInstance(42, upstream));
+  EXPECT_TRUE(std::find(upstream.begin(), upstream.end(), chosen) !=
+              upstream.end());
+}
+
+TEST(StateOpsTest, ChooseBackupSpreadsLoad) {
+  const std::vector<InstanceId> upstream = {1, 2, 3, 4};
+  std::map<InstanceId, int> counts;
+  for (InstanceId owner = 0; owner < 400; ++owner) {
+    ++counts[ChooseBackupInstance(owner, upstream)];
+  }
+  for (const auto& [holder, n] : counts) {
+    EXPECT_GT(n, 50) << "holder " << holder << " underloaded";
+  }
+}
+
+class PartitionCheckpointTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PartitionCheckpointTest, PartitionPreservesEveryEntryExactlyOnce) {
+  const uint32_t pi = GetParam();
+  const StateCheckpoint c = MakeCheckpoint(3, 500);
+  auto parts = PartitionCheckpoint(c, pi);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), pi);
+
+  size_t total_entries = 0;
+  size_t total_buffer = 0;
+  for (uint32_t i = 0; i < pi; ++i) {
+    const StateCheckpoint& part = (*parts)[i];
+    total_entries += part.processing.size();
+    total_buffer += part.buffer.TotalTuples();
+    // Algorithm 2 line 6: positions copied to every partition.
+    EXPECT_EQ(part.positions.Get(1), c.positions.Get(1));
+    // Every entry lies in its partition's range.
+    for (const auto& [key, value] : part.processing.entries()) {
+      EXPECT_TRUE(part.key_range.Contains(key));
+    }
+  }
+  EXPECT_EQ(total_entries, c.processing.size());
+  // Algorithm 2 line 7: buffer state goes to the first partition only,
+  // which also inherits the parent's stream identity.
+  EXPECT_EQ(total_buffer, c.buffer.TotalTuples());
+  EXPECT_EQ((*parts)[0].buffer.TotalTuples(), c.buffer.TotalTuples());
+  EXPECT_EQ((*parts)[0].origin, c.origin);
+  EXPECT_EQ((*parts)[0].out_clock, c.out_clock);
+  if (pi > 1) {
+    EXPECT_EQ((*parts)[1].origin, kInvalidOrigin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, PartitionCheckpointTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(StateOpsTest, PartitionThenMergeIsIdentityOnState) {
+  const StateCheckpoint c = MakeCheckpoint(4, 300);
+  auto parts = PartitionCheckpoint(c, 4);
+  ASSERT_TRUE(parts.ok());
+  auto merged = MergeCheckpoints(*parts);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->key_range, c.key_range);
+  EXPECT_EQ(merged->processing.size(), c.processing.size());
+  EXPECT_EQ(merged->positions.Get(1), c.positions.Get(1));
+  EXPECT_EQ(merged->positions.Get(2), c.positions.Get(2));
+  EXPECT_EQ(merged->buffer.TotalTuples(), c.buffer.TotalTuples());
+  // Entry multisets match.
+  auto key_of = [](const auto& e) { return e.first; };
+  std::multiset<KeyHash> original, roundtrip;
+  for (const auto& e : c.processing.entries()) original.insert(key_of(e));
+  for (const auto& e : merged->processing.entries()) {
+    roundtrip.insert(key_of(e));
+  }
+  EXPECT_EQ(original, roundtrip);
+}
+
+TEST(StateOpsTest, PartitionRejectsBadArguments) {
+  const StateCheckpoint c = MakeCheckpoint(5, 10);
+  EXPECT_FALSE(PartitionCheckpoint(c, 0).ok());
+  // Ranges not spanning the checkpoint range.
+  EXPECT_FALSE(
+      PartitionCheckpointByRanges(c, {{0, 1000}}).ok());
+  // Non-contiguous ranges.
+  EXPECT_FALSE(PartitionCheckpointByRanges(
+                   c, {{0, 10}, {12, UINT64_MAX}})
+                   .ok());
+}
+
+TEST(StateOpsTest, BalancedSplitEqualisesEntryCounts) {
+  // Entries concentrated in the lowest 1% of the key space: an even split
+  // would put everything in partition 0.
+  Rng rng(8);
+  StateCheckpoint c;
+  for (int i = 0; i < 4000; ++i) {
+    c.processing.Add(rng.Next() >> 7, "v");  // keys in [0, 2^57)
+  }
+  const auto ranges = BalancedSplitRanges(c, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  // Coverage invariants hold.
+  EXPECT_EQ(ranges.front().lo, 0u);
+  EXPECT_EQ(ranges.back().hi, UINT64_MAX);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i - 1].hi + 1, ranges[i].lo);
+  }
+  // Each partition holds roughly a quarter of the entries.
+  auto parts = PartitionCheckpointByRanges(c, ranges);
+  ASSERT_TRUE(parts.ok());
+  for (const auto& part : *parts) {
+    EXPECT_NEAR(static_cast<double>(part.processing.size()), 1000, 10);
+  }
+  // The even split, by contrast, is pathological here.
+  auto even = PartitionCheckpoint(c, 4);
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ((*even)[0].processing.size(), 4000u);
+}
+
+TEST(StateOpsTest, BalancedSplitFallsBackOnSparseState) {
+  StateCheckpoint c;
+  c.processing.Add(1, "only");
+  const auto ranges = BalancedSplitRanges(c, 4);
+  EXPECT_EQ(ranges, KeyRange::Full().SplitEven(4));
+}
+
+TEST(StateOpsTest, BalancedSplitRespectsSubrange) {
+  Rng rng(9);
+  StateCheckpoint c;
+  c.key_range = {1000, 2000000};
+  for (int i = 0; i < 1000; ++i) {
+    c.processing.Add(1000 + rng.NextBounded(1999000), "v");
+  }
+  const auto ranges = BalancedSplitRanges(c, 2);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges.front().lo, c.key_range.lo);
+  EXPECT_EQ(ranges.back().hi, c.key_range.hi);
+}
+
+TEST(StateOpsTest, MergeRejectsNonAdjacent) {
+  StateCheckpoint a = MakeCheckpoint(6, 10);
+  StateCheckpoint b = MakeCheckpoint(7, 10);
+  a.key_range = {0, 10};
+  b.key_range = {20, 30};
+  EXPECT_FALSE(MergeCheckpoints({a, b}).ok());
+  b.op = 99;
+  b.key_range = {11, 30};
+  EXPECT_FALSE(MergeCheckpoints({a, b}).ok());  // different operator
+  EXPECT_FALSE(MergeCheckpoints({}).ok());
+}
+
+}  // namespace
+}  // namespace seep::core

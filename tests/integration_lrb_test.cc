@@ -1,0 +1,133 @@
+// Linear Road Benchmark integration: the query produces sane results
+// (tolls, accident alerts, balance answers), the bottleneck detector scales
+// out the toll calculator first (paper §6.1: "the main computational
+// bottleneck ... is partitioned the most"), and latency stays within the
+// LRB 5-second bound.
+
+#include <gtest/gtest.h>
+
+#include "sps/sps.h"
+#include "workloads/lrb/lrb.h"
+
+namespace seep {
+namespace {
+
+using workloads::lrb::BuildLrbQuery;
+using workloads::lrb::LrbConfig;
+using workloads::lrb::LrbQuery;
+
+LrbConfig SmallLrb() {
+  LrbConfig lrb;
+  lrb.num_xways = 2;
+  lrb.duration_s = 240;
+  lrb.initial_rate_per_xway = 50;
+  lrb.peak_rate_per_xway = 600;
+  lrb.seed = 5;
+  return lrb;
+}
+
+TEST(LrbIntegration, ProducesTollsAccidentsAndBalances) {
+  LrbConfig lrb = SmallLrb();
+  lrb.accident_rate_per_sec = 0.01;  // make accidents likely in a short run
+  LrbQuery query = BuildLrbQuery(lrb);
+  auto results = query.results;
+
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  // Give the single-instance deployment enough initial parallelism to
+  // sustain the peak rate without scaling.
+  config.initial_parallelism = {{query.toll_calculator, 4},
+                                {query.forwarder, 2},
+                                {query.toll_assessment, 2}};
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunFor(240);
+
+  EXPECT_GT(results->toll_notifications, 0u);
+  EXPECT_GT(results->balance_answers, 0u);
+  EXPECT_GT(results->accident_alerts, 0u);
+  // Congestion builds as the ramp grows, so tolls must have been charged.
+  EXPECT_GT(results->total_tolls_charged, 0);
+}
+
+TEST(LrbIntegration, DynamicScaleOutTracksTheRamp) {
+  LrbConfig lrb = SmallLrb();
+  // Scaled-down rates need scaled-up per-tuple costs (load_scale semantics)
+  // so that operators actually saturate their VMs and trigger the policy.
+  lrb.toll_calc_cost_us = 2500;
+  lrb.forwarder_cost_us = 900;
+  lrb.assessment_cost_us = 400;
+  // A slightly gentler ramp than the 240 s default: the policy needs a few
+  // report rounds per scale-out, and the LRB latency bound must hold.
+  lrb.duration_s = 400;
+  LrbQuery query = BuildLrbQuery(lrb);
+  const OperatorId toll_calc = query.toll_calculator;
+
+  sps::SpsConfig config;
+  config.scaling.enabled = true;
+  config.scaling.threshold = 0.7;
+  config.cluster.pool.target_size = 4;
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  const size_t vms_at_start = sps.VmsInUse();
+  sps.RunFor(400);
+
+  // The ramp forces scale out; the toll calculator is partitioned the most.
+  EXPECT_GT(sps.VmsInUse(), vms_at_start);
+  EXPECT_GE(sps.metrics().scale_outs.size(), 2u);
+  std::map<OperatorId, int> scale_outs_by_op;
+  for (const auto& event : sps.metrics().scale_outs) {
+    ++scale_outs_by_op[event.op];
+  }
+  for (const auto& [op, count] : scale_outs_by_op) {
+    EXPECT_LE(count, scale_outs_by_op[toll_calc])
+        << "toll calculator should be partitioned the most";
+  }
+  EXPECT_GE(sps.ParallelismOf(toll_calc), 2u);
+
+  // Throughput kept up with the ramp: results kept flowing near the end.
+  const auto rates = sps.metrics().sink_tuples.RatesPerSecond();
+  double late_throughput = 0;
+  for (const auto& point : rates) {
+    if (point.time > SecondsToSim(340)) {
+      late_throughput = std::max(late_throughput, point.value);
+    }
+  }
+  EXPECT_GT(late_throughput, 0);
+
+  // LRB latency requirement: the paper's median is ~100-150 ms with
+  // multi-second peaks during scale out. This test compresses the 3-hour
+  // benchmark into 400 s (a ~27x steeper ramp), so scale-out transients
+  // dominate the tail; assert the median honours the 5 s bound and the
+  // tail stays within an order of magnitude of it. The paper-relative
+  // latency check lives in bench_fig07_lrb_latency.
+  EXPECT_LT(sps.metrics().latency_ms.Median(), 5000.0);
+  EXPECT_LT(sps.metrics().latency_ms.Percentile(95), 30000.0);
+}
+
+TEST(LrbIntegration, RecoveryOfTollAssessmentPreservesProcessing) {
+  // The toll assessment's per-vehicle balances depend on the complete tuple
+  // history (the reason the paper cannot run UB/SR on LRB). Check that R+SM
+  // recovers it and the query keeps answering balance queries.
+  LrbConfig lrb = SmallLrb();
+  lrb.duration_s = 180;
+  LrbQuery query = BuildLrbQuery(lrb);
+  auto results = query.results;
+
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.initial_parallelism = {{query.toll_calculator, 4},
+                                {query.forwarder, 2}};
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.InjectFailure(query.toll_assessment, 90);
+  sps.RunFor(180);
+
+  ASSERT_EQ(sps.metrics().recoveries.size(), 1u);
+  EXPECT_GT(sps.metrics().recoveries[0].caught_up_at, 0);
+  EXPECT_LT(sps.metrics().recoveries[0].RecoverySeconds(), 30.0);
+  EXPECT_GT(results->balance_answers, 0u);
+}
+
+}  // namespace
+}  // namespace seep

@@ -1,0 +1,169 @@
+// Property-style integration sweeps: recovery and scale-out exactness must
+// hold regardless of *when* the failure strikes relative to checkpoints and
+// windows, across seeds, and across parallelism levels. These are the
+// system-wide invariants the paper's integrated mechanism promises.
+
+#include <gtest/gtest.h>
+
+#include "sps/sps.h"
+#include "workloads/wordcount/wordcount.h"
+
+namespace seep {
+namespace {
+
+using workloads::wordcount::BuildWordCountQuery;
+using workloads::wordcount::WordCountConfig;
+using workloads::wordcount::WordCountQuery;
+
+using Counts = std::map<std::pair<int64_t, std::string>, int64_t>;
+
+Counts RunScenario(uint64_t seed, double total_seconds,
+                   const std::function<void(sps::Sps&, const WordCountQuery&)>&
+                       actions = nullptr) {
+  WordCountConfig wc;
+  wc.rate_tuples_per_sec = 120;
+  wc.vocabulary = 150;
+  wc.seed = seed;
+
+  sps::SpsConfig config;
+  config.cluster.checkpoint_interval = SecondsToSim(5);
+  config.cluster.pool.target_size = 4;
+  config.scaling.enabled = false;
+
+  WordCountQuery query = BuildWordCountQuery(wc);
+  auto results = query.results;
+  sps::Sps sps(std::move(query.graph), config);
+  EXPECT_TRUE(sps.Deploy().ok());
+  if (actions) actions(sps, query);
+  sps.RunFor(total_seconds);
+  return results->counts;
+}
+
+Counts UpTo(const Counts& counts, int64_t max_window) {
+  Counts out;
+  for (const auto& [key, value] : counts) {
+    if (key.first <= max_window) out[key] = value;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- failures
+
+// Failure times chosen to straddle checkpoint boundaries (multiples of 5 s)
+// and window boundaries (multiples of 30 s).
+class FailureTimingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureTimingTest, RecoveryIsExactWheneverTheFailureStrikes) {
+  const double fail_at = GetParam();
+  const Counts baseline = RunScenario(5, 160);
+  const Counts failed = RunScenario(
+      5, 160, [&](sps::Sps& sps, const WordCountQuery& query) {
+        sps.InjectFailure(query.counter, fail_at);
+      });
+  EXPECT_EQ(UpTo(baseline, 3), UpTo(failed, 3))
+      << "divergence for failure at t=" << fail_at;
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, FailureTimingTest,
+                         ::testing::Values(12.0, 29.9, 30.1, 44.9, 45.1,
+                                           60.0, 74.5, 89.9));
+
+// Failure of the *stateless* splitter: positions and buffers must restore
+// such that no words are lost or duplicated.
+TEST(FailureTargetTest, StatelessOperatorRecoveryIsExact) {
+  const Counts baseline = RunScenario(6, 160);
+  const Counts failed = RunScenario(
+      6, 160, [](sps::Sps& sps, const WordCountQuery& query) {
+        sps.InjectFailure(query.splitter, 47.0);
+      });
+  EXPECT_EQ(UpTo(baseline, 3), UpTo(failed, 3));
+}
+
+TEST(FailureTargetTest, BackupHolderFailureAbortsAndRetries) {
+  // Kill the splitter (which holds the counter's checkpoint backup), then
+  // the counter shortly after: the counter's recovery must first abort
+  // (backup lost with the holder), then succeed after the splitter is back
+  // and a fresh checkpoint was taken.
+  const Counts baseline = RunScenario(7, 220);
+  const Counts failed = RunScenario(
+      7, 220, [](sps::Sps& sps, const WordCountQuery& query) {
+        sps.InjectFailure(query.splitter, 46.0);
+        sps.InjectFailure(query.counter, 70.0);
+      });
+  // Both operators recovered and kept counting in later windows.
+  int64_t late_total_baseline = 0;
+  int64_t late_total_failed = 0;
+  for (const auto& [key, value] : baseline) {
+    if (key.first == 5) late_total_baseline += value;
+  }
+  for (const auto& [key, value] : failed) {
+    if (key.first == 5) late_total_failed += value;
+  }
+  EXPECT_GT(late_total_failed, 0);
+  EXPECT_EQ(late_total_failed, late_total_baseline);
+}
+
+// --------------------------------------------------------------- scale out
+
+class ScaleOutTimingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleOutTimingTest, ScaleOutIsExactWheneverItHappens) {
+  const double at = GetParam();
+  const Counts baseline = RunScenario(8, 160);
+  const Counts scaled = RunScenario(
+      8, 160, [&](sps::Sps& sps, const WordCountQuery& query) {
+        sps.RequestScaleOut(query.counter, at);
+      });
+  EXPECT_EQ(UpTo(baseline, 3), UpTo(scaled, 3))
+      << "divergence for scale out at t=" << at;
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, ScaleOutTimingTest,
+                         ::testing::Values(11.0, 30.0, 44.8, 45.2, 61.5));
+
+TEST(RepeatedScaleOutTest, FourPartitionsRemainExact) {
+  const Counts baseline = RunScenario(9, 200);
+  const Counts scaled = RunScenario(
+      9, 200, [](sps::Sps& sps, const WordCountQuery& query) {
+        sps.RequestScaleOut(query.counter, 20);
+        sps.RequestScaleOut(query.counter, 50);
+        sps.RequestScaleOut(query.counter, 80);
+      });
+  EXPECT_EQ(UpTo(baseline, 4), UpTo(scaled, 4));
+}
+
+TEST(ScaleOutThenFailTest, PartitionFailureAfterScaleOutIsExact) {
+  const Counts baseline = RunScenario(10, 200);
+  const Counts stressed = RunScenario(
+      10, 200, [](sps::Sps& sps, const WordCountQuery& query) {
+        sps.RequestScaleOut(query.counter, 25);
+        sps.InjectFailure(query.counter, 70);  // kills one partition
+      });
+  EXPECT_EQ(UpTo(baseline, 4), UpTo(stressed, 4));
+}
+
+// ------------------------------------------------------------- determinism
+
+class SeedDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedDeterminismTest, IdenticalRunsProduceIdenticalCountsAndMetrics) {
+  auto actions = [](sps::Sps& sps, const WordCountQuery& query) {
+    sps.RequestScaleOut(query.counter, 30);
+    sps.InjectFailure(query.counter, 75);
+  };
+  const Counts a = RunScenario(GetParam(), 150, actions);
+  const Counts b = RunScenario(GetParam(), 150, actions);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedDeterminismTest,
+                         ::testing::Values(1, 17, 99, 123456));
+
+TEST(SeedSensitivityTest, DifferentSeedsProduceDifferentStreams) {
+  const Counts a = RunScenario(1, 100);
+  const Counts b = RunScenario(2, 100);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace seep

@@ -1,0 +1,83 @@
+// Top-k map/reduce integration (paper §6.1's open-loop workload): an
+// initially under-provisioned deployment drops tuples, scales out until it
+// sustains the rate, and the per-window ranking reflects the Zipf skew.
+
+#include <gtest/gtest.h>
+
+#include "sps/sps.h"
+#include "workloads/topk/topk.h"
+
+namespace seep {
+namespace {
+
+using workloads::topk::BuildTopKQuery;
+using workloads::topk::TopKConfig;
+using workloads::topk::TopKQuery;
+
+TEST(TopKIntegration, RankingReflectsZipfSkew) {
+  TopKConfig cfg;
+  cfg.total_rate_tuples_per_sec = 2000;
+  cfg.num_sources = 4;
+  cfg.num_languages = 50;
+  cfg.seed = 11;
+  TopKQuery query = BuildTopKQuery(cfg);
+  auto results = query.results;
+
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.initial_parallelism = {{query.map, 2}, {query.reduce, 2}};
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunFor(100);
+
+  // Window 1 is fully closed and flushed. Under Zipf skew, language 0 is
+  // the most visited.
+  const auto top = results->TopK(/*window=*/1, cfg.k);
+  ASSERT_GE(top.size(), cfg.k);
+  EXPECT_EQ(top[0].first, 0);
+  EXPECT_GT(top[0].second, top[1].second);
+  // Counts across the ranking are monotonically non-increasing.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(TopKIntegration, OpenLoopScalesOutUntilRateSustained) {
+  TopKConfig cfg;
+  cfg.total_rate_tuples_per_sec = 30000;
+  cfg.num_sources = 6;
+  cfg.map_cost_us = 30;     // deliberately expensive: 1 VM sustains ~33k/s
+  cfg.reduce_cost_us = 40;  // 1 VM sustains ~25k/s: must scale out
+  cfg.seed = 13;
+  TopKQuery query = BuildTopKQuery(cfg);
+
+  sps::SpsConfig config;
+  config.cluster.max_queue_tuples = 20000;  // open loop: drops under overload
+  config.scaling.enabled = true;
+  config.scaling.report_interval = SecondsToSim(5);
+  config.cluster.pool.target_size = 4;
+  const OperatorId map_op = query.map;
+  const OperatorId reduce_op = query.reduce;
+  sps::Sps sps(std::move(query.graph), config);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunFor(300);
+
+  // Under-provisioned at the start: tuples were dropped.
+  EXPECT_GT(sps.metrics().dropped_tuples.total(), 0u);
+  // The system scaled out both operators.
+  EXPECT_GE(sps.ParallelismOf(map_op) + sps.ParallelismOf(reduce_op), 4u);
+
+  // Eventually the sink consumption approaches the partial-count output of
+  // a system keeping up: drops stop near the end of the run.
+  const auto drops = sps.metrics().dropped_tuples.RatesPerSecond();
+  double late_drop_rate = 0;
+  for (const auto& point : drops) {
+    if (point.time > SecondsToSim(280)) {
+      late_drop_rate = std::max(late_drop_rate, point.value);
+    }
+  }
+  EXPECT_EQ(late_drop_rate, 0);
+}
+
+}  // namespace
+}  // namespace seep

@@ -1,0 +1,116 @@
+// Unit tests for the logical query graph: construction, validation and
+// topological ordering (paper §2.2's query model).
+
+#include <gtest/gtest.h>
+
+#include "core/query_graph.h"
+
+namespace seep::core {
+namespace {
+
+std::unique_ptr<SourceGenerator> NullSource(uint32_t, uint32_t) {
+  return nullptr;
+}
+
+class NoopOperator : public Operator {
+ public:
+  void Process(const Tuple& input, Collector* out) override {}
+};
+
+QueryGraph Chain(OperatorId* source, OperatorId* op, OperatorId* sink) {
+  QueryGraph g;
+  *source = g.AddSource("src", NullSource);
+  *op = g.AddOperator("op", [] { return std::make_unique<NoopOperator>(); },
+                      false);
+  *sink = g.AddSink("snk", [] { return nullptr; });
+  EXPECT_TRUE(g.Connect(*source, *op).ok());
+  EXPECT_TRUE(g.Connect(*op, *sink).ok());
+  return g;
+}
+
+TEST(QueryGraphTest, ValidChainPasses) {
+  OperatorId s, o, k;
+  QueryGraph g = Chain(&s, &o, &k);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.Sources(), std::vector<OperatorId>{s});
+  EXPECT_EQ(g.Sinks(), std::vector<OperatorId>{k});
+  EXPECT_EQ(g.Upstream(o), std::vector<OperatorId>{s});
+  EXPECT_EQ(g.Downstream(o), std::vector<OperatorId>{k});
+}
+
+TEST(QueryGraphTest, EmptyGraphInvalid) {
+  QueryGraph g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, ConnectRejectsBadEndpoints) {
+  OperatorId s, o, k;
+  QueryGraph g = Chain(&s, &o, &k);
+  EXPECT_FALSE(g.Connect(o, o).ok());      // self loop
+  EXPECT_FALSE(g.Connect(k, o).ok());      // sink output
+  EXPECT_FALSE(g.Connect(o, s).ok());      // source input
+  EXPECT_FALSE(g.Connect(99, o).ok());     // unknown id
+}
+
+TEST(QueryGraphTest, OperatorWithoutInputRejected) {
+  QueryGraph g;
+  g.AddSource("src", NullSource);
+  const OperatorId orphan = g.AddOperator(
+      "orphan", [] { return std::make_unique<NoopOperator>(); }, false);
+  (void)orphan;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, OperatorWithoutOutputRejected) {
+  QueryGraph g;
+  const OperatorId s = g.AddSource("src", NullSource);
+  const OperatorId o = g.AddOperator(
+      "dead-end", [] { return std::make_unique<NoopOperator>(); }, false);
+  ASSERT_TRUE(g.Connect(s, o).ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, DiamondTopologyIsValid) {
+  QueryGraph g;
+  const OperatorId s = g.AddSource("src", NullSource);
+  const OperatorId a = g.AddOperator(
+      "a", [] { return std::make_unique<NoopOperator>(); }, false);
+  const OperatorId b = g.AddOperator(
+      "b", [] { return std::make_unique<NoopOperator>(); }, false);
+  const OperatorId c = g.AddOperator(
+      "c", [] { return std::make_unique<NoopOperator>(); }, true);
+  const OperatorId k = g.AddSink("snk", [] { return nullptr; });
+  ASSERT_TRUE(g.Connect(s, a).ok());
+  ASSERT_TRUE(g.Connect(s, b).ok());
+  ASSERT_TRUE(g.Connect(a, c).ok());
+  ASSERT_TRUE(g.Connect(b, c).ok());
+  ASSERT_TRUE(g.Connect(c, k).ok());
+  EXPECT_TRUE(g.Validate().ok());
+
+  // Topological order respects all edges.
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](OperatorId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(s), pos(a));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(c));
+  EXPECT_LT(pos(c), pos(k));
+}
+
+TEST(QueryGraphTest, SourceParallelismStored) {
+  QueryGraph g;
+  const OperatorId s = g.AddSource("src", NullSource, 1.0, 18);
+  EXPECT_EQ(g.Get(s)->source_parallelism, 18u);
+  const OperatorId s2 = g.AddSource("src2", NullSource, 1.0, 0);
+  EXPECT_EQ(g.Get(s2)->source_parallelism, 1u);  // clamped
+}
+
+TEST(QueryGraphTest, GetUnknownReturnsNull) {
+  QueryGraph g;
+  EXPECT_EQ(g.Get(0), nullptr);
+}
+
+}  // namespace
+}  // namespace seep::core

@@ -1,0 +1,190 @@
+// Unit and property tests for the binary serialisation layer: encoder and
+// decoder roundtrips, varint edge cases, CRC32C vectors and frame integrity.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "serde/crc32c.h"
+#include "serde/decoder.h"
+#include "serde/encoder.h"
+#include "serde/frame.h"
+
+namespace seep::serde {
+namespace {
+
+TEST(EncoderDecoderTest, FixedWidthRoundtrip) {
+  Encoder enc;
+  enc.AppendU8(0xAB);
+  enc.AppendFixed32(0xDEADBEEF);
+  enc.AppendFixed64(0x0123456789ABCDEFull);
+  enc.AppendDouble(3.14159);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.ReadU8().value(), 0xAB);
+  EXPECT_EQ(dec.ReadFixed32().value(), 0xDEADBEEF);
+  EXPECT_EQ(dec.ReadFixed64().value(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(dec.ReadDouble().value(), 3.14159);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(EncoderDecoderTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,       1,        127,        128,
+                            16383,   16384,    (1ull << 32) - 1,
+                            1ull << 32, UINT64_MAX};
+  Encoder enc;
+  for (uint64_t v : cases) enc.AppendVarint64(v);
+  Decoder dec(enc.buffer());
+  for (uint64_t v : cases) EXPECT_EQ(dec.ReadVarint64().value(), v);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(EncoderDecoderTest, SignedVarintBoundaries) {
+  const int64_t cases[] = {0,  1,  -1, 63, -64, 64, -65,
+                           INT64_MAX, INT64_MIN, -123456789};
+  Encoder enc;
+  for (int64_t v : cases) enc.AppendVarintSigned64(v);
+  Decoder dec(enc.buffer());
+  for (int64_t v : cases) EXPECT_EQ(dec.ReadVarintSigned64().value(), v);
+}
+
+TEST(EncoderDecoderTest, SmallMagnitudesEncodeSmall) {
+  Encoder enc;
+  enc.AppendVarintSigned64(-1);
+  EXPECT_EQ(enc.size(), 1u);  // zigzag: -1 -> 1
+}
+
+TEST(EncoderDecoderTest, StringRoundtrip) {
+  Encoder enc;
+  enc.AppendString("");
+  enc.AppendString("hello");
+  enc.AppendString(std::string(1000, 'x'));
+  std::string with_nul("a\0b", 3);
+  enc.AppendString(with_nul);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.ReadString().value(), "");
+  EXPECT_EQ(dec.ReadString().value(), "hello");
+  EXPECT_EQ(dec.ReadString().value(), std::string(1000, 'x'));
+  EXPECT_EQ(dec.ReadString().value(), with_nul);
+}
+
+TEST(DecoderTest, TruncatedInputsReportCorruption) {
+  Encoder enc;
+  enc.AppendFixed64(42);
+  // Chop one byte off: the read must fail cleanly.
+  std::vector<uint8_t> chopped(enc.buffer().begin(), enc.buffer().end() - 1);
+  Decoder dec(chopped);
+  auto r = dec.ReadFixed64();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(DecoderTest, TruncatedStringBody) {
+  Encoder enc;
+  enc.AppendVarint64(100);  // claims 100 bytes follow
+  enc.AppendRaw("short", 5);
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(dec.ReadString().ok());
+}
+
+TEST(DecoderTest, OverlongVarintRejected) {
+  std::vector<uint8_t> bad(11, 0x80);  // never terminates within 64 bits
+  Decoder dec(bad);
+  auto r = dec.ReadVarint64();
+  ASSERT_FALSE(r.ok());
+}
+
+// Property sweep: random value sequences roundtrip exactly.
+class SerdeRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeRoundtripTest, RandomSequenceRoundtrips) {
+  Rng rng(GetParam());
+  Encoder enc;
+  std::vector<int64_t> signed_values;
+  std::vector<uint64_t> unsigned_values;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t sv = static_cast<int64_t>(rng.Next()) >>
+                       (rng.NextBounded(63));
+    const uint64_t uv = rng.Next() >> rng.NextBounded(63);
+    std::string s(rng.NextBounded(50), 'a' + char(rng.NextBounded(26)));
+    signed_values.push_back(sv);
+    unsigned_values.push_back(uv);
+    strings.push_back(s);
+    enc.AppendVarintSigned64(sv);
+    enc.AppendVarint64(uv);
+    enc.AppendString(s);
+  }
+  Decoder dec(enc.buffer());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(dec.ReadVarintSigned64().value(), signed_values[i]);
+    EXPECT_EQ(dec.ReadVarint64().value(), unsigned_values[i]);
+    EXPECT_EQ(dec.ReadString().value(), strings[i]);
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeRoundtripTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------------------------- CRC32C
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // "123456789" -> 0xE3069283 (standard check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  const size_t n = strlen(data);
+  const uint32_t oneshot = Crc32c(data, n);
+  const uint32_t first = Crc32c(data, 10);
+  const uint32_t incremental = Crc32c(data + 10, n - 10, first);
+  EXPECT_EQ(oneshot, incremental);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(100, 0x5A);
+  const uint32_t good = Crc32c(data.data(), data.size());
+  data[50] ^= 1;
+  EXPECT_NE(good, Crc32c(data.data(), data.size()));
+}
+
+// -------------------------------------------------------------------- Frame
+
+TEST(FrameTest, Roundtrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  auto frame = FramePayload(payload);
+  auto back = UnframePayload(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), payload);
+}
+
+TEST(FrameTest, EmptyPayload) {
+  auto frame = FramePayload({});
+  auto back = UnframePayload(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(FrameTest, CorruptedPayloadRejected) {
+  auto frame = FramePayload({10, 20, 30, 40});
+  frame.back() ^= 0xFF;
+  auto back = UnframePayload(frame);
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST(FrameTest, LengthMismatchRejected) {
+  auto frame = FramePayload({10, 20, 30, 40});
+  frame.pop_back();
+  EXPECT_FALSE(UnframePayload(frame).ok());
+}
+
+}  // namespace
+}  // namespace seep::serde

@@ -1,0 +1,79 @@
+// Wire-format tests for tuples and batches: exact roundtrips, size
+// accounting (the network/CPU cost model), and property sweeps.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/tuple.h"
+#include "serde/decoder.h"
+#include "serde/encoder.h"
+
+namespace seep::core {
+namespace {
+
+Tuple Sample() {
+  Tuple t;
+  t.timestamp = 123456;
+  t.key = 0xDEADBEEFCAFEull;
+  t.origin = 42;
+  t.event_time = SecondsToSim(3.5);
+  t.ints = {-1, 0, 77, INT64_MAX};
+  t.text = "hello world";
+  t.latency_sample = false;
+  return t;
+}
+
+TEST(TupleTest, RoundtripPreservesAllFields) {
+  const Tuple t = Sample();
+  serde::Encoder enc;
+  t.Encode(&enc);
+  serde::Decoder dec(enc.buffer());
+  auto back = Tuple::Decode(&dec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->timestamp, t.timestamp);
+  EXPECT_EQ(back->key, t.key);
+  EXPECT_EQ(back->origin, t.origin);
+  EXPECT_EQ(back->event_time, t.event_time);
+  EXPECT_EQ(back->ints, t.ints);
+  EXPECT_EQ(back->text, t.text);
+  EXPECT_EQ(back->latency_sample, t.latency_sample);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(TupleTest, SerializedSizeMatchesEncodedSize) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Tuple t;
+    t.timestamp = static_cast<int64_t>(rng.Next()) >> rng.NextBounded(40);
+    t.key = rng.Next();
+    t.origin = rng.Next();
+    t.event_time = static_cast<SimTime>(rng.NextBounded(1u << 30));
+    for (auto& v : t.ints) {
+      v = static_cast<int64_t>(rng.Next()) >> rng.NextBounded(60);
+    }
+    t.text = std::string(rng.NextBounded(100), 'q');
+    serde::Encoder enc;
+    t.Encode(&enc);
+    EXPECT_EQ(enc.size(), t.SerializedSize());
+  }
+}
+
+TEST(TupleTest, BatchSizeSumsTuplesPlusHeader) {
+  TupleBatch batch;
+  batch.tuples.push_back(Sample());
+  batch.tuples.push_back(Sample());
+  EXPECT_EQ(batch.SerializedSize(), 16 + 2 * Sample().SerializedSize());
+}
+
+TEST(TupleTest, DefaultsAreSane) {
+  Tuple t;
+  EXPECT_EQ(t.origin, kInvalidOrigin);
+  EXPECT_TRUE(t.latency_sample);
+  EXPECT_EQ(t.timestamp, 0);
+  TupleBatch b;
+  EXPECT_FALSE(b.replay);
+  EXPECT_EQ(b.fence_id, 0u);
+}
+
+}  // namespace
+}  // namespace seep::core

@@ -1,0 +1,357 @@
+// Unit tests for the workload operators in isolation: LRB toll formula and
+// accident detection, word splitter/counter semantics, top-k reducer, and
+// state externalisation roundtrips for each stateful operator.
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "workloads/lrb/lrb.h"
+#include "workloads/topk/topk.h"
+#include "workloads/wordcount/wordcount.h"
+
+namespace seep {
+namespace {
+
+// Collects emissions per port for driving operators directly.
+class TestCollector : public core::Collector {
+ public:
+  void EmitTo(int port, core::Tuple tuple) override {
+    emissions.emplace_back(port, std::move(tuple));
+  }
+  std::vector<std::pair<int, core::Tuple>> emissions;
+};
+
+// ------------------------------------------------------------------ LRB
+
+namespace lrb = workloads::lrb;
+
+core::Tuple PositionReport(int64_t vid, int64_t xway, int64_t seg,
+                           int64_t speed, SimTime at, bool entering = true,
+                           bool stopped = false) {
+  core::Tuple t;
+  t.event_time = at;
+  t.ints = {lrb::kPositionReport, vid, lrb::PackLocation(xway, seg),
+            lrb::PackSpeed(speed, entering, stopped)};
+  t.key = Mix64(static_cast<uint64_t>(lrb::PackLocation(xway, seg)));
+  return t;
+}
+
+TEST(LrbOperatorsTest, FieldPackingRoundtrips) {
+  const int64_t loc = lrb::PackLocation(7, 42);
+  EXPECT_EQ(lrb::LocationXway(loc), 7);
+  EXPECT_EQ(lrb::LocationSegment(loc), 42);
+  const int64_t packed = lrb::PackSpeed(55, true, false);
+  EXPECT_EQ(lrb::SpeedOf(packed), 55);
+  EXPECT_TRUE(lrb::IsEntering(packed));
+  EXPECT_FALSE(lrb::IsStopped(packed));
+}
+
+TEST(LrbOperatorsTest, TollChargedForCongestedSlowSegment) {
+  lrb::TollCalculator calc(1);
+  TestCollector out;
+  // Minute 0: 60 vehicles crawl through segment (3,10) at 20 mph.
+  for (int64_t vid = 0; vid < 60; ++vid) {
+    calc.Process(PositionReport(vid, 3, 10, 20, SecondsToSim(10)), &out);
+  }
+  out.emissions.clear();
+  // Minute 1: one more vehicle enters; LRB toll = 2*(count-50)^2 = 200.
+  calc.Process(PositionReport(100, 3, 10, 20, SecondsToSim(70)), &out);
+  int64_t toll_charge = -1;
+  int64_t toll_note = -1;
+  for (const auto& [port, tuple] : out.emissions) {
+    if (tuple.ints[0] == lrb::kTollCharge) toll_charge = tuple.ints[2];
+    if (tuple.ints[0] == lrb::kTollNotification) toll_note = tuple.ints[2];
+  }
+  EXPECT_EQ(toll_charge, 2 * (60 - 50) * (60 - 50));
+  EXPECT_EQ(toll_note, toll_charge);
+}
+
+TEST(LrbOperatorsTest, NoTollWhenFastOrUncongested) {
+  lrb::TollCalculator calc(1);
+  TestCollector out;
+  // Fast traffic (LAV 60 >= 40): no toll.
+  for (int64_t vid = 0; vid < 60; ++vid) {
+    calc.Process(PositionReport(vid, 1, 5, 60, SecondsToSim(10)), &out);
+  }
+  out.emissions.clear();
+  calc.Process(PositionReport(99, 1, 5, 60, SecondsToSim(70)), &out);
+  for (const auto& [port, tuple] : out.emissions) {
+    EXPECT_NE(tuple.ints[0], lrb::kTollCharge);
+  }
+  // Slow but light traffic (10 < 50 vehicles): no toll either.
+  out.emissions.clear();
+  for (int64_t vid = 0; vid < 10; ++vid) {
+    calc.Process(PositionReport(vid, 2, 5, 20, SecondsToSim(10)), &out);
+  }
+  out.emissions.clear();
+  calc.Process(PositionReport(99, 2, 5, 20, SecondsToSim(70)), &out);
+  for (const auto& [port, tuple] : out.emissions) {
+    EXPECT_NE(tuple.ints[0], lrb::kTollCharge);
+  }
+}
+
+TEST(LrbOperatorsTest, AccidentDetectedOnTwoStoppedVehicles) {
+  lrb::TollCalculator calc(1);
+  TestCollector out;
+  calc.Process(PositionReport(1, 0, 7, 0, SecondsToSim(1), true, true), &out);
+  EXPECT_TRUE(out.emissions.empty() ||
+              out.emissions[0].second.ints[0] != lrb::kAccidentAlert);
+  out.emissions.clear();
+  calc.Process(PositionReport(2, 0, 7, 0, SecondsToSim(2), true, true), &out);
+  bool alerted = false;
+  for (const auto& [port, tuple] : out.emissions) {
+    if (tuple.ints[0] == lrb::kAccidentAlert) alerted = true;
+  }
+  EXPECT_TRUE(alerted);
+}
+
+TEST(LrbOperatorsTest, NoTollInAccidentSegment) {
+  lrb::TollCalculator calc(1);
+  TestCollector out;
+  // Congest the segment in minute 0, then cause an accident.
+  for (int64_t vid = 0; vid < 60; ++vid) {
+    calc.Process(PositionReport(vid, 0, 3, 20, SecondsToSim(10)), &out);
+  }
+  calc.Process(PositionReport(200, 0, 3, 0, SecondsToSim(20), true, true),
+               &out);
+  calc.Process(PositionReport(201, 0, 3, 0, SecondsToSim(21), true, true),
+               &out);
+  out.emissions.clear();
+  calc.Process(PositionReport(300, 0, 3, 20, SecondsToSim(70)), &out);
+  for (const auto& [port, tuple] : out.emissions) {
+    EXPECT_NE(tuple.ints[0], lrb::kTollCharge);
+  }
+}
+
+TEST(LrbOperatorsTest, TollCalculatorStateRoundtrip) {
+  lrb::TollCalculator calc(1);
+  TestCollector out;
+  for (int64_t vid = 0; vid < 30; ++vid) {
+    calc.Process(PositionReport(vid, 1, vid % 5, 25, SecondsToSim(10)), &out);
+  }
+  const core::ProcessingState state = calc.GetProcessingState();
+  EXPECT_EQ(state.size(), 5u);  // 5 segments
+
+  lrb::TollCalculator restored(1);
+  restored.SetProcessingState(state);
+  EXPECT_EQ(restored.GetProcessingState().size(), 5u);
+}
+
+TEST(LrbOperatorsTest, AssessmentAccumulatesAndAnswersQueries) {
+  lrb::TollAssessment assessment(1);
+  TestCollector out;
+  core::Tuple charge;
+  charge.ints = {lrb::kTollCharge, /*vid=*/9, /*toll=*/50, 0};
+  assessment.Process(charge, &out);
+  assessment.Process(charge, &out);
+  EXPECT_TRUE(out.emissions.empty());
+
+  core::Tuple query;
+  query.ints = {lrb::kBalanceQuery, 9, /*qid=*/1, 0};
+  assessment.Process(query, &out);
+  ASSERT_EQ(out.emissions.size(), 1u);
+  EXPECT_EQ(out.emissions[0].second.ints[0], lrb::kBalanceAnswer);
+  EXPECT_EQ(out.emissions[0].second.ints[2], 100);
+
+  // State externalisation roundtrip preserves balances.
+  lrb::TollAssessment restored(1);
+  restored.SetProcessingState(assessment.GetProcessingState());
+  out.emissions.clear();
+  restored.Process(query, &out);
+  ASSERT_EQ(out.emissions.size(), 1u);
+  EXPECT_EQ(out.emissions[0].second.ints[2], 100);
+}
+
+TEST(LrbSourceTest, RateFollowsConfiguredRamp) {
+  lrb::LrbConfig cfg;
+  cfg.num_xways = 4;
+  cfg.duration_s = 100;
+  cfg.initial_rate_per_xway = 10;
+  cfg.peak_rate_per_xway = 100;
+  lrb::LrbSource source(cfg, 0, 1);
+  EXPECT_NEAR(source.TargetRate(0), 40, 1);
+  EXPECT_NEAR(source.TargetRate(SecondsToSim(100)), 400, 1);
+  EXPECT_LT(source.TargetRate(SecondsToSim(50)), 200);  // superlinear ramp
+}
+
+TEST(LrbSourceTest, GeneratesConfiguredMixOfTuples) {
+  lrb::LrbConfig cfg;
+  cfg.num_xways = 1;
+  cfg.duration_s = 100;
+  cfg.initial_rate_per_xway = 1000;
+  cfg.peak_rate_per_xway = 1000;
+  cfg.balance_query_fraction = 0.1;
+  lrb::LrbSource source(cfg, 0, 1);
+  TestCollector out;
+  source.GenerateBatch(SecondsToSim(1), SecondsToSim(10), &out);
+  size_t reports = 0, queries = 0;
+  for (const auto& [port, tuple] : out.emissions) {
+    if (tuple.ints[0] == lrb::kPositionReport) ++reports;
+    if (tuple.ints[0] == lrb::kBalanceQuery) ++queries;
+  }
+  EXPECT_NEAR(static_cast<double>(reports + queries), 10000, 10);
+  EXPECT_NEAR(static_cast<double>(queries) / (reports + queries), 0.1, 0.02);
+}
+
+// ------------------------------------------------------------- Word count
+
+namespace wc = workloads::wordcount;
+
+TEST(WordCountOperatorsTest, SplitterTokenises) {
+  wc::WordSplitter splitter(1);
+  TestCollector out;
+  core::Tuple sentence;
+  sentence.text = "the cat  sat ";
+  sentence.event_time = 123;
+  splitter.Process(sentence, &out);
+  ASSERT_EQ(out.emissions.size(), 3u);
+  EXPECT_EQ(out.emissions[0].second.text, "the");
+  EXPECT_EQ(out.emissions[1].second.text, "cat");
+  EXPECT_EQ(out.emissions[2].second.text, "sat");
+  EXPECT_EQ(out.emissions[0].second.key, HashBytes("the"));
+  EXPECT_EQ(out.emissions[0].second.event_time, 123);
+}
+
+TEST(WordCountOperatorsTest, CounterWindowsByEventTime) {
+  wc::WordCountConfig cfg;
+  cfg.window = SecondsToSim(30);
+  cfg.probe_every_n = 0;  // no probes in this test
+  wc::WordCounter counter(cfg);
+  TestCollector out;
+  core::Tuple word;
+  word.text = "cat";
+  word.key = HashBytes("cat");
+  word.event_time = SecondsToSim(5);  // window 0
+  counter.Process(word, &out);
+  counter.Process(word, &out);
+  word.event_time = SecondsToSim(35);  // window 1
+  counter.Process(word, &out);
+  EXPECT_TRUE(out.emissions.empty());
+
+  // Closing window 0 at t=60 emits both windows' finals? Only window 0 and
+  // window 1 are closed at t=60... window 1 spans [30,60) so it is closed.
+  counter.OnTimer(SecondsToSim(60), &out);
+  std::map<int64_t, int64_t> finals;
+  for (const auto& [port, tuple] : out.emissions) {
+    finals[tuple.ints[0]] = tuple.ints[1];
+  }
+  EXPECT_EQ(finals[0], 2);
+  EXPECT_EQ(finals[1], 1);
+}
+
+TEST(WordCountOperatorsTest, CounterStateMergeIsAdditive) {
+  wc::WordCountConfig cfg;
+  cfg.probe_every_n = 0;
+  wc::WordCounter a(cfg), b(cfg), merged(cfg);
+  TestCollector out;
+  core::Tuple word;
+  word.text = "dog";
+  word.key = HashBytes("dog");
+  word.event_time = SecondsToSim(1);
+  a.Process(word, &out);
+  a.Process(word, &out);
+  b.Process(word, &out);
+
+  merged.SetProcessingState(a.GetProcessingState());
+  merged.MergeProcessingState(b.GetProcessingState());
+  merged.OnTimer(SecondsToSim(60), &out);
+  ASSERT_FALSE(out.emissions.empty());
+  EXPECT_EQ(out.emissions.back().second.ints[1], 3);
+}
+
+TEST(WordCountOperatorsTest, ProbeEmittedEveryN) {
+  wc::WordCountConfig cfg;
+  cfg.probe_every_n = 5;
+  wc::WordCounter counter(cfg);
+  TestCollector out;
+  core::Tuple word;
+  word.text = "x";
+  word.key = HashBytes("x");
+  for (int i = 0; i < 25; ++i) counter.Process(word, &out);
+  EXPECT_EQ(out.emissions.size(), 5u);
+  EXPECT_EQ(out.emissions[0].second.ints[2], 0);  // probe flag
+}
+
+TEST(WordCountSourceTest, SentencesHaveConfiguredShape) {
+  wc::WordCountConfig cfg;
+  cfg.rate_tuples_per_sec = 100;
+  cfg.words_per_sentence = 20;
+  wc::SentenceSource source(cfg, 0, 1);
+  TestCollector out;
+  source.GenerateBatch(0, SecondsToSim(1), &out);
+  ASSERT_EQ(out.emissions.size(), 100u);
+  // Each sentence has exactly 20 space-separated words.
+  const std::string& s = out.emissions[0].second.text;
+  EXPECT_EQ(std::count(s.begin(), s.end(), ' '), 19);
+}
+
+// ----------------------------------------------------------------- Top-k
+
+namespace topk = workloads::topk;
+
+TEST(TopKOperatorsTest, MapStripsPayload) {
+  topk::MapProject map(1);
+  TestCollector out;
+  core::Tuple raw;
+  raw.key = 77;
+  raw.event_time = 5;
+  raw.ints = {3, 999, 999, 0};
+  raw.text = "junk-payload-to-strip";
+  map.Process(raw, &out);
+  ASSERT_EQ(out.emissions.size(), 1u);
+  const core::Tuple& projected = out.emissions[0].second;
+  EXPECT_EQ(projected.key, 77u);
+  EXPECT_EQ(projected.ints[0], 3);
+  EXPECT_TRUE(projected.text.empty());
+}
+
+TEST(TopKOperatorsTest, ReducerEmitsPartialsAtWindowClose) {
+  topk::TopKConfig cfg;
+  cfg.window = SecondsToSim(30);
+  topk::TopKReducer reducer(cfg);
+  TestCollector out;
+  core::Tuple view;
+  view.ints = {5, 0, 0, 0};
+  view.event_time = SecondsToSim(10);
+  reducer.Process(view, &out);
+  reducer.Process(view, &out);
+  reducer.OnTimer(SecondsToSim(35), &out);
+  ASSERT_EQ(out.emissions.size(), 1u);
+  EXPECT_EQ(out.emissions[0].second.ints[0], 0);  // window
+  EXPECT_EQ(out.emissions[0].second.ints[1], 5);  // language
+  EXPECT_EQ(out.emissions[0].second.ints[2], 2);  // count
+}
+
+TEST(TopKOperatorsTest, SinkMaxMergesPartials) {
+  auto results = std::make_shared<topk::TopKSink::Results>();
+  topk::TopKSink sink(results);
+  core::Tuple partial;
+  partial.ints = {0, 7, 10, 0};
+  sink.Consume(partial, 0);
+  partial.ints = {0, 7, 8, 0};  // stale smaller partial
+  sink.Consume(partial, 0);
+  partial.ints = {0, 3, 25, 0};
+  sink.Consume(partial, 0);
+  const auto top = results->TopK(0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 3);
+  EXPECT_EQ(top[0].second, 25);
+  EXPECT_EQ(top[1].second, 10);
+}
+
+TEST(TopKOperatorsTest, ReducerStateRoundtrip) {
+  topk::TopKConfig cfg;
+  topk::TopKReducer a(cfg), b(cfg);
+  TestCollector out;
+  core::Tuple view;
+  view.ints = {2, 0, 0, 0};
+  view.event_time = SecondsToSim(1);
+  for (int i = 0; i < 5; ++i) a.Process(view, &out);
+  b.SetProcessingState(a.GetProcessingState());
+  b.OnTimer(SecondsToSim(60), &out);
+  ASSERT_FALSE(out.emissions.empty());
+  EXPECT_EQ(out.emissions.back().second.ints[2], 5);
+}
+
+}  // namespace
+}  // namespace seep
