@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backup_spread.dir/bench_ablation_backup_spread.cc.o"
+  "CMakeFiles/bench_ablation_backup_spread.dir/bench_ablation_backup_spread.cc.o.d"
+  "bench_ablation_backup_spread"
+  "bench_ablation_backup_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backup_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

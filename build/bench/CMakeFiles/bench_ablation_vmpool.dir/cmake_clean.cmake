@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vmpool.dir/bench_ablation_vmpool.cc.o"
+  "CMakeFiles/bench_ablation_vmpool.dir/bench_ablation_vmpool.cc.o.d"
+  "bench_ablation_vmpool"
+  "bench_ablation_vmpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vmpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

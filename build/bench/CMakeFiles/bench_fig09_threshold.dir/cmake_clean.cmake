@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_threshold.dir/bench_fig09_threshold.cc.o"
+  "CMakeFiles/bench_fig09_threshold.dir/bench_fig09_threshold.cc.o.d"
+  "bench_fig09_threshold"
+  "bench_fig09_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_recovery_modes.dir/bench_fig11_recovery_modes.cc.o"
+  "CMakeFiles/bench_fig11_recovery_modes.dir/bench_fig11_recovery_modes.cc.o.d"
+  "bench_fig11_recovery_modes"
+  "bench_fig11_recovery_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_recovery_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ckpt_interval.dir/bench_fig12_ckpt_interval.cc.o"
+  "CMakeFiles/bench_fig12_ckpt_interval.dir/bench_fig12_ckpt_interval.cc.o.d"
+  "bench_fig12_ckpt_interval"
+  "bench_fig12_ckpt_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ckpt_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

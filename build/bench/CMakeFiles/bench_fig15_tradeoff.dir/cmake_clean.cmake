@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tradeoff.dir/bench_fig15_tradeoff.cc.o"
+  "CMakeFiles/bench_fig15_tradeoff.dir/bench_fig15_tradeoff.cc.o.d"
+  "bench_fig15_tradeoff"
+  "bench_fig15_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lrating.dir/bench_lrating.cc.o"
+  "CMakeFiles/bench_lrating.dir/bench_lrating.cc.o.d"
+  "bench_lrating"
+  "bench_lrating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance_tour.dir/fault_tolerance_tour.cpp.o"
+  "CMakeFiles/fault_tolerance_tour.dir/fault_tolerance_tour.cpp.o.d"
+  "fault_tolerance_tour"
+  "fault_tolerance_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sps/CMakeFiles/seep_sps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/seep_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/seep_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/seep_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/seep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/seep_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/seep_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_elastic.dir/topk_elastic.cpp.o"
+  "CMakeFiles/topk_elastic.dir/topk_elastic.cpp.o.d"
+  "topk_elastic"
+  "topk_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_provider.cc" "src/cloud/CMakeFiles/seep_cloud.dir/cloud_provider.cc.o" "gcc" "src/cloud/CMakeFiles/seep_cloud.dir/cloud_provider.cc.o.d"
+  "/root/repo/src/cloud/vm_pool.cc" "src/cloud/CMakeFiles/seep_cloud.dir/vm_pool.cc.o" "gcc" "src/cloud/CMakeFiles/seep_cloud.dir/vm_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

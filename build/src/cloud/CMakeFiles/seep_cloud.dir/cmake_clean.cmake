@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_cloud.dir/cloud_provider.cc.o"
+  "CMakeFiles/seep_cloud.dir/cloud_provider.cc.o.d"
+  "CMakeFiles/seep_cloud.dir/vm_pool.cc.o"
+  "CMakeFiles/seep_cloud.dir/vm_pool.cc.o.d"
+  "libseep_cloud.a"
+  "libseep_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_common.dir/logging.cc.o"
+  "CMakeFiles/seep_common.dir/logging.cc.o.d"
+  "CMakeFiles/seep_common.dir/rng.cc.o"
+  "CMakeFiles/seep_common.dir/rng.cc.o.d"
+  "CMakeFiles/seep_common.dir/stats.cc.o"
+  "CMakeFiles/seep_common.dir/stats.cc.o.d"
+  "CMakeFiles/seep_common.dir/status.cc.o"
+  "CMakeFiles/seep_common.dir/status.cc.o.d"
+  "libseep_common.a"
+  "libseep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_control.dir/bottleneck_detector.cc.o"
+  "CMakeFiles/seep_control.dir/bottleneck_detector.cc.o.d"
+  "CMakeFiles/seep_control.dir/deployment_manager.cc.o"
+  "CMakeFiles/seep_control.dir/deployment_manager.cc.o.d"
+  "CMakeFiles/seep_control.dir/recovery_coordinator.cc.o"
+  "CMakeFiles/seep_control.dir/recovery_coordinator.cc.o.d"
+  "CMakeFiles/seep_control.dir/scale_out_coordinator.cc.o"
+  "CMakeFiles/seep_control.dir/scale_out_coordinator.cc.o.d"
+  "libseep_control.a"
+  "libseep_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

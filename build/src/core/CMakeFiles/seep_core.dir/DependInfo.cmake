@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/key_range.cc" "src/core/CMakeFiles/seep_core.dir/key_range.cc.o" "gcc" "src/core/CMakeFiles/seep_core.dir/key_range.cc.o.d"
+  "/root/repo/src/core/query_graph.cc" "src/core/CMakeFiles/seep_core.dir/query_graph.cc.o" "gcc" "src/core/CMakeFiles/seep_core.dir/query_graph.cc.o.d"
+  "/root/repo/src/core/state.cc" "src/core/CMakeFiles/seep_core.dir/state.cc.o" "gcc" "src/core/CMakeFiles/seep_core.dir/state.cc.o.d"
+  "/root/repo/src/core/state_ops.cc" "src/core/CMakeFiles/seep_core.dir/state_ops.cc.o" "gcc" "src/core/CMakeFiles/seep_core.dir/state_ops.cc.o.d"
+  "/root/repo/src/core/tuple.cc" "src/core/CMakeFiles/seep_core.dir/tuple.cc.o" "gcc" "src/core/CMakeFiles/seep_core.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/seep_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

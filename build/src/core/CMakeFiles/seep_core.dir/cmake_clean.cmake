@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_core.dir/key_range.cc.o"
+  "CMakeFiles/seep_core.dir/key_range.cc.o.d"
+  "CMakeFiles/seep_core.dir/query_graph.cc.o"
+  "CMakeFiles/seep_core.dir/query_graph.cc.o.d"
+  "CMakeFiles/seep_core.dir/state.cc.o"
+  "CMakeFiles/seep_core.dir/state.cc.o.d"
+  "CMakeFiles/seep_core.dir/state_ops.cc.o"
+  "CMakeFiles/seep_core.dir/state_ops.cc.o.d"
+  "CMakeFiles/seep_core.dir/tuple.cc.o"
+  "CMakeFiles/seep_core.dir/tuple.cc.o.d"
+  "libseep_core.a"
+  "libseep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_runtime.dir/cluster.cc.o"
+  "CMakeFiles/seep_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/seep_runtime.dir/operator_instance.cc.o"
+  "CMakeFiles/seep_runtime.dir/operator_instance.cc.o.d"
+  "libseep_runtime.a"
+  "libseep_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

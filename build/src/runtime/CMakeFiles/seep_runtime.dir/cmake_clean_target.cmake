@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseep_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_serde.dir/crc32c.cc.o"
+  "CMakeFiles/seep_serde.dir/crc32c.cc.o.d"
+  "CMakeFiles/seep_serde.dir/frame.cc.o"
+  "CMakeFiles/seep_serde.dir/frame.cc.o.d"
+  "libseep_serde.a"
+  "libseep_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_sim.dir/network.cc.o"
+  "CMakeFiles/seep_sim.dir/network.cc.o.d"
+  "CMakeFiles/seep_sim.dir/simulation.cc.o"
+  "CMakeFiles/seep_sim.dir/simulation.cc.o.d"
+  "libseep_sim.a"
+  "libseep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

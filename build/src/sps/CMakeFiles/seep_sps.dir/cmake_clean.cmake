@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_sps.dir/sps.cc.o"
+  "CMakeFiles/seep_sps.dir/sps.cc.o.d"
+  "libseep_sps.a"
+  "libseep_sps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_sps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

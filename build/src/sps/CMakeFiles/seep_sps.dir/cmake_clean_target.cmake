@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseep_sps.a"
+)

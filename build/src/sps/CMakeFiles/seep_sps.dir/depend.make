@@ -1,0 +1,2 @@
+# Empty dependencies file for seep_sps.
+# This may be replaced when dependencies are built.

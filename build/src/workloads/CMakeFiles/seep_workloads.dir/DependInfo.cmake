@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/lrb/lrb.cc" "src/workloads/CMakeFiles/seep_workloads.dir/lrb/lrb.cc.o" "gcc" "src/workloads/CMakeFiles/seep_workloads.dir/lrb/lrb.cc.o.d"
+  "/root/repo/src/workloads/topk/topk.cc" "src/workloads/CMakeFiles/seep_workloads.dir/topk/topk.cc.o" "gcc" "src/workloads/CMakeFiles/seep_workloads.dir/topk/topk.cc.o.d"
+  "/root/repo/src/workloads/wordcount/wordcount.cc" "src/workloads/CMakeFiles/seep_workloads.dir/wordcount/wordcount.cc.o" "gcc" "src/workloads/CMakeFiles/seep_workloads.dir/wordcount/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/seep_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seep_workloads.dir/lrb/lrb.cc.o"
+  "CMakeFiles/seep_workloads.dir/lrb/lrb.cc.o.d"
+  "CMakeFiles/seep_workloads.dir/topk/topk.cc.o"
+  "CMakeFiles/seep_workloads.dir/topk/topk.cc.o.d"
+  "CMakeFiles/seep_workloads.dir/wordcount/wordcount.cc.o"
+  "CMakeFiles/seep_workloads.dir/wordcount/wordcount.cc.o.d"
+  "libseep_workloads.a"
+  "libseep_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seep_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

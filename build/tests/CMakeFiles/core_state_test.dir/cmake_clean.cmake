@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_state_test.dir/core_state_test.cc.o"
+  "CMakeFiles/core_state_test.dir/core_state_test.cc.o.d"
+  "core_state_test"
+  "core_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_checkpoint_test.dir/incremental_checkpoint_test.cc.o"
+  "CMakeFiles/incremental_checkpoint_test.dir/incremental_checkpoint_test.cc.o.d"
+  "incremental_checkpoint_test"
+  "incremental_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_lrb_test.dir/integration_lrb_test.cc.o"
+  "CMakeFiles/integration_lrb_test.dir/integration_lrb_test.cc.o.d"
+  "integration_lrb_test"
+  "integration_lrb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_lrb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

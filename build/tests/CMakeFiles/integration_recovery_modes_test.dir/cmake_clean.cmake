@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_recovery_modes_test.dir/integration_recovery_modes_test.cc.o"
+  "CMakeFiles/integration_recovery_modes_test.dir/integration_recovery_modes_test.cc.o.d"
+  "integration_recovery_modes_test"
+  "integration_recovery_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_recovery_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

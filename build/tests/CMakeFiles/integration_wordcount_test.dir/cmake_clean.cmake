@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_wordcount_test.dir/integration_wordcount_test.cc.o"
+  "CMakeFiles/integration_wordcount_test.dir/integration_wordcount_test.cc.o.d"
+  "integration_wordcount_test"
+  "integration_wordcount_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_wordcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
