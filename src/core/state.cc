@@ -1,6 +1,7 @@
 #include "core/state.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "serde/frame.h"
 
@@ -8,23 +9,125 @@ namespace seep::core {
 
 // ---------------------------------------------------------------- Processing
 
+void ProcessingState::EnsureSorted() const {
+  if (sorted_) return;
+  // Stable so entries with colliding key hashes keep a deterministic
+  // (insertion) order — Encode output must be canonical.
+  std::stable_sort(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  sorted_ = true;
+}
+
+namespace {
+
+// Binary-search helpers over the sorted entry vector.
+std::vector<ProcessingState::Entry>::const_iterator LowerBoundKey(
+    const std::vector<ProcessingState::Entry>& entries, KeyHash key) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const ProcessingState::Entry& e, KeyHash k) { return e.first < k; });
+}
+
+std::vector<ProcessingState::Entry>::const_iterator UpperBoundKey(
+    const std::vector<ProcessingState::Entry>& entries, KeyHash key) {
+  return std::upper_bound(
+      entries.begin(), entries.end(), key,
+      [](KeyHash k, const ProcessingState::Entry& e) { return k < e.first; });
+}
+
+}  // namespace
+
 ProcessingState ProcessingState::FilterByRange(const KeyRange& range) const {
+  EnsureSorted();
+  const auto first = LowerBoundKey(entries_, range.lo);
+  const auto last = UpperBoundKey(entries_, range.hi);
   ProcessingState out;
-  for (const Entry& e : entries_) {
-    if (range.Contains(e.first)) out.Add(e.first, e.second);
-  }
+  out.Reserve(static_cast<size_t>(last - first));
+  for (auto it = first; it != last; ++it) out.Add(it->first, it->second);
   return out;
 }
 
 void ProcessingState::MergeFrom(const ProcessingState& other) {
-  for (const Entry& e : other.entries_) Add(e.first, e.second);
+  if (other.entries_.empty()) return;
+  EnsureSorted();
+  other.EnsureSorted();
+  // Scale-in merges adjacent key ranges, so one side usually follows the
+  // other entirely: a straight append keeps the result sorted.
+  if (entries_.empty() || entries_.back().first <= other.entries_.front().first) {
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+    bytes_ += other.bytes_;
+    return;
+  }
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::merge(std::make_move_iterator(entries_.begin()),
+             std::make_move_iterator(entries_.end()), other.entries_.begin(),
+             other.entries_.end(), std::back_inserter(merged),
+             [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  entries_ = std::move(merged);
+  bytes_ += other.bytes_;
+}
+
+void ProcessingState::ApplyDelta(const ProcessingState& updated,
+                                 const std::vector<KeyHash>& deleted) {
+  EnsureSorted();
+  updated.EnsureSorted();
+  std::vector<KeyHash> dead(deleted);
+  std::sort(dead.begin(), dead.end());
+  const auto is_dead = [&dead](KeyHash key) {
+    return std::binary_search(dead.begin(), dead.end(), key);
+  };
+
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + updated.entries_.size());
+  size_t bytes = 0;
+  const auto push = [&](Entry e) {
+    bytes += sizeof(KeyHash) + e.second.size();
+    merged.push_back(std::move(e));
+  };
+
+  size_t i = 0, j = 0;
+  const auto& upd = updated.entries_;
+  while (i < entries_.size() || j < upd.size()) {
+    // For one key, the delta's (last) entry supersedes the base's; a
+    // deletion supersedes both.
+    if (j == upd.size() ||
+        (i < entries_.size() && entries_[i].first < upd[j].first)) {
+      if (!is_dead(entries_[i].first)) push(std::move(entries_[i]));
+      ++i;
+      continue;
+    }
+    const KeyHash key = upd[j].first;
+    while (j + 1 < upd.size() && upd[j + 1].first == key) ++j;  // last wins
+    if (!is_dead(key)) push(upd[j]);
+    ++j;
+    while (i < entries_.size() && entries_[i].first == key) ++i;  // replaced
+  }
+
+  entries_ = std::move(merged);
+  bytes_ = bytes;
+  sorted_ = true;
 }
 
 void ProcessingState::Encode(serde::Encoder* enc) const {
+  EnsureSorted();
   enc->AppendVarint64(entries_.size());
+  // The payload size is knowable exactly (bytes_ already counts 8 bytes per
+  // key plus the value bytes; only the length varints are extra), so the
+  // whole state is emitted into one Extend() region with raw pointer
+  // writes — no per-append bounds checks on the serialisation hot path.
+  size_t total = bytes_;
   for (const Entry& e : entries_) {
-    enc->AppendFixed64(e.first);
-    enc->AppendString(e.second);
+    total += serde::Encoder::VarintSize(e.second.size());
+  }
+  uint8_t* p = enc->Extend(total);
+  for (const Entry& e : entries_) {
+    p = serde::Encoder::WriteFixed64(p, e.first);
+    p = serde::Encoder::WriteVarint64(p, e.second.size());
+    std::memcpy(p, e.second.data(), e.second.size());
+    p += e.second.size();
   }
 }
 
@@ -32,6 +135,7 @@ Result<ProcessingState> ProcessingState::Decode(serde::Decoder* dec) {
   ProcessingState out;
   uint64_t n;
   SEEP_ASSIGN_OR_RETURN(n, dec->ReadVarint64());
+  if (n <= dec->remaining()) out.Reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     KeyHash k;
     SEEP_ASSIGN_OR_RETURN(k, dec->ReadFixed64());
@@ -93,65 +197,93 @@ Result<InputPositions> InputPositions::Decode(serde::Decoder* dec) {
   return out;
 }
 
+// --------------------------------------------------------------- TupleBuffer
+
+TupleBuffer::const_iterator TupleBuffer::UpperBound(int64_t timestamp) const {
+  return std::partition_point(begin(), end(), [timestamp](const Tuple& t) {
+    return t.timestamp <= timestamp;
+  });
+}
+
+size_t TupleBuffer::TrimThroughTimestamp(int64_t up_to) {
+  // Appends come from a monotone logical clock, so the buffer is sorted by
+  // timestamp and the trim point is a binary search.
+  const auto keep_from = UpperBound(up_to);
+  const size_t dropped = static_cast<size_t>(keep_from - begin());
+  for (auto it = begin(); it != keep_from; ++it) {
+    bytes_ -= it->SerializedSize();
+  }
+  front_ += dropped;
+  MaybeCompact();
+  return dropped;
+}
+
+size_t TupleBuffer::TrimBeforeEventTime(SimTime cutoff) {
+  // Event times are not strictly append-ordered (window-close emissions
+  // carry the close time, which can precede a later tuple's source time), so
+  // a binary search would be unsound; walk the dropped prefix instead.
+  size_t dropped = 0;
+  while (front_ != tuples_.size() && tuples_[front_].event_time < cutoff) {
+    bytes_ -= tuples_[front_].SerializedSize();
+    ++front_;
+    ++dropped;
+  }
+  MaybeCompact();
+  return dropped;
+}
+
+void TupleBuffer::MaybeCompact() {
+  // Reclaim the dead prefix once it dominates the live region: each tuple is
+  // then moved at most O(1) amortised times over its lifetime.
+  if (front_ >= 32 && front_ * 2 >= tuples_.size()) {
+    tuples_.erase(tuples_.begin(),
+                  tuples_.begin() + static_cast<ptrdiff_t>(front_));
+    front_ = 0;
+  }
+}
+
 // -------------------------------------------------------------------- Buffer
 
 void BufferState::Append(OperatorId downstream, Tuple t) {
-  buffers_[downstream].push_back(std::move(t));
+  buffers_[downstream].Append(std::move(t));
 }
 
 size_t BufferState::Trim(OperatorId downstream, int64_t up_to) {
   auto it = buffers_.find(downstream);
   if (it == buffers_.end()) return 0;
-  auto& vec = it->second;
-  // Output buffers are appended in timestamp order per origin; a single
-  // instance's buffer holds only its own emissions, so a prefix erase by
-  // timestamp is exact.
-  auto keep_from = std::find_if(vec.begin(), vec.end(), [&](const Tuple& t) {
-    return t.timestamp > up_to;
-  });
-  const size_t dropped = static_cast<size_t>(keep_from - vec.begin());
-  vec.erase(vec.begin(), keep_from);
-  return dropped;
+  return it->second.TrimThroughTimestamp(up_to);
 }
 
 size_t BufferState::TrimByEventTime(SimTime cutoff) {
   size_t dropped = 0;
-  for (auto& [op, vec] : buffers_) {
-    auto keep_from =
-        std::find_if(vec.begin(), vec.end(), [&](const Tuple& t) {
-          return t.event_time >= cutoff;
-        });
-    dropped += static_cast<size_t>(keep_from - vec.begin());
-    vec.erase(vec.begin(), keep_from);
-  }
+  for (auto& [op, buf] : buffers_) dropped += buf.TrimBeforeEventTime(cutoff);
   return dropped;
 }
 
-const std::vector<Tuple>* BufferState::Get(OperatorId downstream) const {
+const TupleBuffer* BufferState::Get(OperatorId downstream) const {
   auto it = buffers_.find(downstream);
   return it == buffers_.end() ? nullptr : &it->second;
 }
 
 size_t BufferState::TotalTuples() const {
   size_t n = 0;
-  for (const auto& [op, vec] : buffers_) n += vec.size();
+  for (const auto& [op, buf] : buffers_) n += buf.size();
   return n;
 }
 
 size_t BufferState::ByteSize() const {
   size_t n = 0;
-  for (const auto& [op, vec] : buffers_) {
-    for (const Tuple& t : vec) n += t.SerializedSize();
-  }
+  for (const auto& [op, buf] : buffers_) n += buf.ByteSize();
   return n;
 }
 
 void BufferState::Encode(serde::Encoder* enc) const {
+  enc->Reserve(ByteSize() + 10 + 10 * buffers_.size());
   enc->AppendVarint64(buffers_.size());
-  for (const auto& [op, vec] : buffers_) {
+  for (const auto& [op, buf] : buffers_) {
     enc->AppendFixed32(op);
-    enc->AppendVarint64(vec.size());
-    for (const Tuple& t : vec) t.Encode(enc);
+    enc->AppendVarint64(buf.size());
+    for (const Tuple& t : buf) t.Encode(enc);
   }
 }
 
@@ -164,12 +296,12 @@ Result<BufferState> BufferState::Decode(serde::Decoder* dec) {
     SEEP_ASSIGN_OR_RETURN(op, dec->ReadFixed32());
     uint64_t n_tuples;
     SEEP_ASSIGN_OR_RETURN(n_tuples, dec->ReadVarint64());
-    auto& vec = out.buffers_[op];
-    vec.reserve(n_tuples);
+    auto& buf = out.buffers_[op];
+    if (n_tuples <= dec->remaining()) buf.Reserve(n_tuples);
     for (uint64_t j = 0; j < n_tuples; ++j) {
       Tuple t;
       SEEP_ASSIGN_OR_RETURN(t, Tuple::Decode(dec));
-      vec.push_back(std::move(t));
+      buf.Append(std::move(t));
     }
   }
   return out;
@@ -206,6 +338,7 @@ size_t StateCheckpoint::ByteSize() const {
 }
 
 void StateCheckpoint::Encode(serde::Encoder* enc) const {
+  enc->Reserve(ByteSize());
   enc->AppendFixed32(op);
   enc->AppendFixed32(instance);
   enc->AppendFixed64(origin);

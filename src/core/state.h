@@ -19,6 +19,13 @@ namespace seep::core {
 /// externalised as key/value pairs so the SPS can checkpoint and partition it
 /// without understanding operator internals. Operators keep efficient
 /// internal structures and translate on demand (get-processing-state).
+///
+/// Entries are kept sorted by key hash. Operators may Add in any order; the
+/// sort happens lazily on first read (one O(n log n) per capture instead of
+/// per-operation bookkeeping), after which every range operation is a
+/// binary-searched slice: FilterByRange is O(log n + output), MergeFrom and
+/// delta application are linear merges, and quantile splits read positions
+/// directly.
 class ProcessingState {
  public:
   using Entry = std::pair<KeyHash, std::string>;
@@ -27,29 +34,50 @@ class ProcessingState {
 
   void Add(KeyHash key, std::string value) {
     bytes_ += sizeof(KeyHash) + value.size();
+    if (!entries_.empty() && key < entries_.back().first) sorted_ = false;
     entries_.emplace_back(key, std::move(value));
   }
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  /// Entries sorted ascending by key (ties keep insertion order).
+  const std::vector<Entry>& entries() const {
+    EnsureSorted();
+    return entries_;
+  }
+
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+
+  void Reserve(size_t n) { entries_.reserve(n); }
 
   /// Approximate in-memory footprint; checkpoint CPU cost scales with this.
   size_t ByteSize() const { return bytes_; }
 
   /// Returns the subset of entries whose key falls in `range` — the core of
-  /// Algorithm 2 line 5: θi ← {(k,v) ∈ θ : ki ≤ k < ki+1}.
+  /// Algorithm 2 line 5: θi ← {(k,v) ∈ θ : ki ≤ k < ki+1}. Binary-searches
+  /// the sorted entries, so the cost is O(log n) plus the copied slice.
   ProcessingState FilterByRange(const KeyRange& range) const;
 
-  /// Appends all entries of `other` (used by scale-in merge; key sets must be
-  /// disjoint, which holds for partitions of disjoint ranges).
+  /// Merges all entries of `other` (used by scale-in merge; key sets must be
+  /// disjoint, which holds for partitions of disjoint ranges). Adjacent
+  /// ranges append in O(other); the general case is a linear merge.
   void MergeFrom(const ProcessingState& other);
+
+  /// Incremental-checkpoint application: replaces/inserts `updated` entries
+  /// by key and drops `deleted` keys, as a single two-pointer merge over the
+  /// sorted base and delta — O(base + delta), no intermediate map, no full
+  /// rebuild. A key in both `updated` and `deleted` is deleted.
+  void ApplyDelta(const ProcessingState& updated,
+                  const std::vector<KeyHash>& deleted);
 
   void Encode(serde::Encoder* enc) const;
   static Result<ProcessingState> Decode(serde::Decoder* dec);
 
  private:
-  std::vector<Entry> entries_;
+  void EnsureSorted() const;
+
+  // Lazily sorted: Add only appends; readers sort once on demand.
+  mutable std::vector<Entry> entries_;
+  mutable bool sorted_ = true;
   size_t bytes_ = 0;
 };
 
@@ -85,6 +113,71 @@ class InputPositions {
   std::map<OriginId, int64_t> positions_;
 };
 
+/// One downstream operator's replay buffer: tuples in append (= logical
+/// timestamp) order, with an amortised-O(1) front trim. Trimming only
+/// advances a front offset; the dead prefix is compacted away once it
+/// outgrows the live region, so each tuple is moved O(1) times over its
+/// lifetime instead of once per trim. Copying (checkpoint capture) copies
+/// only the live region.
+class TupleBuffer {
+ public:
+  using const_iterator = std::vector<Tuple>::const_iterator;
+
+  TupleBuffer() = default;
+  TupleBuffer(const TupleBuffer& other)
+      : tuples_(other.begin(), other.end()), bytes_(other.bytes_) {}
+  TupleBuffer& operator=(const TupleBuffer& other) {
+    if (this != &other) {
+      tuples_.assign(other.begin(), other.end());
+      front_ = 0;
+      bytes_ = other.bytes_;
+    }
+    return *this;
+  }
+  TupleBuffer(TupleBuffer&&) = default;
+  TupleBuffer& operator=(TupleBuffer&&) = default;
+
+  void Append(Tuple t) {
+    bytes_ += t.SerializedSize();
+    tuples_.push_back(std::move(t));
+  }
+
+  void Reserve(size_t n) { tuples_.reserve(front_ + n); }
+
+  size_t size() const { return tuples_.size() - front_; }
+  bool empty() const { return front_ == tuples_.size(); }
+  const Tuple& front() const { return tuples_[front_]; }
+  const Tuple& back() const { return tuples_.back(); }
+  const_iterator begin() const { return tuples_.begin() + front_; }
+  const_iterator end() const { return tuples_.end(); }
+
+  /// Wire size of the live tuples (maintained incrementally, O(1)).
+  size_t ByteSize() const { return bytes_; }
+
+  /// First tuple with timestamp > `timestamp`. Timestamps are assigned by
+  /// the emitting instance's monotone logical clock, so the buffer is sorted
+  /// by timestamp and this is a binary search.
+  const_iterator UpperBound(int64_t timestamp) const;
+
+  /// Drops all tuples with timestamp <= up_to; returns how many.
+  /// O(log n) search + amortised-O(1) per dropped tuple.
+  size_t TrimThroughTimestamp(int64_t up_to);
+
+  /// Drops the longest prefix with event_time < cutoff; returns how many.
+  /// Event times are only approximately append-ordered (window-close
+  /// emissions interleave with per-tuple ones), so this walks the prefix —
+  /// O(dropped), not O(n): it stops at the first survivor and never shifts
+  /// the survivors.
+  size_t TrimBeforeEventTime(SimTime cutoff);
+
+ private:
+  void MaybeCompact();
+
+  std::vector<Tuple> tuples_;
+  size_t front_ = 0;   // index of the first live tuple
+  size_t bytes_ = 0;   // wire size of the live region
+};
+
 /// Buffer state βo (paper §3.1): output tuples kept per downstream logical
 /// operator until a downstream checkpoint covers them. Replayed after a
 /// downstream restore; trimmed on checkpoint acknowledgements.
@@ -101,9 +194,9 @@ class BufferState {
   /// fixed window of history rather than the checkpoint horizon.
   size_t TrimByEventTime(SimTime cutoff);
 
-  const std::vector<Tuple>* Get(OperatorId downstream) const;
-  std::map<OperatorId, std::vector<Tuple>>& buffers() { return buffers_; }
-  const std::map<OperatorId, std::vector<Tuple>>& buffers() const {
+  const TupleBuffer* Get(OperatorId downstream) const;
+  std::map<OperatorId, TupleBuffer>& buffers() { return buffers_; }
+  const std::map<OperatorId, TupleBuffer>& buffers() const {
     return buffers_;
   }
 
@@ -114,7 +207,7 @@ class BufferState {
   static Result<BufferState> Decode(serde::Decoder* dec);
 
  private:
-  std::map<OperatorId, std::vector<Tuple>> buffers_;
+  std::map<OperatorId, TupleBuffer> buffers_;
 };
 
 /// Routing state ρo (paper §3.1): for each downstream logical operator, the

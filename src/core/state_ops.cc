@@ -74,12 +74,9 @@ std::vector<KeyRange> BalancedSplitRanges(const StateCheckpoint& checkpoint,
   if (checkpoint.processing.size() < static_cast<size_t>(pi) * 8) {
     return range.SplitEven(pi);
   }
-  std::vector<KeyHash> keys;
-  keys.reserve(checkpoint.processing.size());
-  for (const auto& [key, value] : checkpoint.processing.entries()) {
-    keys.push_back(key);
-  }
-  std::sort(keys.begin(), keys.end());
+  // Entries are maintained sorted by key, so quantiles are direct reads —
+  // no key copy, no per-split sort.
+  const auto& entries = checkpoint.processing.entries();
 
   std::vector<KeyRange> ranges;
   ranges.reserve(pi);
@@ -87,8 +84,8 @@ std::vector<KeyRange> BalancedSplitRanges(const StateCheckpoint& checkpoint,
   for (uint32_t i = 1; i < pi; ++i) {
     // Cut just above the i-th pi-quantile entry so the entry itself lands in
     // the left partition.
-    const size_t idx = keys.size() * i / pi;
-    KeyHash cut = keys[idx];
+    const size_t idx = entries.size() * i / pi;
+    KeyHash cut = entries[idx].first;
     // Keep cuts strictly increasing and inside the range.
     if (cut < lo) cut = lo;
     if (cut >= range.hi) cut = range.hi - 1;
@@ -115,18 +112,10 @@ Status ApplyDelta(StateCheckpoint* base, const StateCheckpoint& delta) {
     return Status::InvalidArgument("delta for a different instance");
   }
 
-  // Replace/insert updated entries by key, drop deleted keys.
-  std::map<KeyHash, std::string> merged;
-  for (const auto& [key, value] : base->processing.entries()) {
-    merged[key] = value;
-  }
-  for (const auto& [key, value] : delta.processing.entries()) {
-    merged[key] = value;
-  }
-  for (KeyHash key : delta.deleted_keys) merged.erase(key);
-  ProcessingState rebuilt;
-  for (auto& [key, value] : merged) rebuilt.Add(key, std::move(value));
-  base->processing = std::move(rebuilt);
+  // Replace/insert updated entries by key, drop deleted keys: a linear
+  // two-pointer merge of the sorted base and delta — O(base + delta), no
+  // intermediate map.
+  base->processing.ApplyDelta(delta.processing, delta.deleted_keys);
 
   base->positions = delta.positions;
   base->out_clock = delta.out_clock;

@@ -42,11 +42,13 @@ std::vector<KeyRange> BalancedSplitRanges(const StateCheckpoint& checkpoint,
 
 /// Applies an incremental (delta) checkpoint onto a stored full checkpoint
 /// in place: processing-state entries are replaced/inserted by key and
-/// deleted keys removed; positions, clocks and sequence advance to the
-/// delta's; mirrored buffers are trimmed to the delta's buffer_front and
-/// extended with the delta's tuples. Fails if `delta.base_seq` does not
-/// match `base->seq` (a delta applied out of order) or `delta` is not a
-/// delta checkpoint.
+/// deleted keys removed via a linear two-pointer merge of the sorted base
+/// and delta (O(base + delta) — no intermediate map, no full rebuild);
+/// positions, clocks and sequence advance to the delta's; mirrored buffers
+/// are trimmed to the delta's buffer_front and extended with the delta's
+/// tuples. Fails (before any mutation) if `delta.base_seq` does not match
+/// `base->seq` (a delta applied out of order) or `delta` is not a delta
+/// checkpoint.
 Status ApplyDelta(StateCheckpoint* base, const StateCheckpoint& delta);
 
 /// Scale-in support (paper §3.3): merges checkpoints of partitions with

@@ -29,13 +29,30 @@ class BackupStore {
     entries_[owner] = Entry{holder, std::move(checkpoint)};
   }
 
-  /// retrieve-backup(backup(o), o).
+  /// retrieve-backup(backup(o), o). Returns a copy; restore/partition paths
+  /// need one anyway. Hot paths that only inspect or mutate the stored entry
+  /// should use Find/Mutable to avoid copying the whole checkpoint.
   Result<Entry> Retrieve(InstanceId owner) const {
     auto it = entries_.find(owner);
     if (it == entries_.end()) {
       return Status::NotFound("no backup for instance");
     }
     return it->second;
+  }
+
+  /// Zero-copy peek at a stored backup (e.g. the per-checkpoint incremental
+  /// eligibility check, which only reads holder and seq). Null if absent.
+  const Entry* Find(InstanceId owner) const {
+    auto it = entries_.find(owner);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Mutable access for in-place delta application: the holder folds an
+  /// incremental checkpoint into its stored base without copying the base
+  /// out and back. Null if absent.
+  Entry* Mutable(InstanceId owner) {
+    auto it = entries_.find(owner);
+    return it == entries_.end() ? nullptr : &it->second;
   }
 
   void Delete(InstanceId owner) { entries_.erase(owner); }

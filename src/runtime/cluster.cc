@@ -196,18 +196,18 @@ void Cluster::BackupCheckpoint(OperatorInstance* owner,
         // base), superseding any previous holder.
         const core::InputPositions positions = shared->positions;
         if (shared->is_delta) {
-          auto entry = backups_.Retrieve(owner_id);
-          if (!entry.ok() || entry->holder != holder_id) {
+          runtime::BackupStore::Entry* entry = backups_.Mutable(owner_id);
+          if (entry == nullptr || entry->holder != holder_id) {
             ++metrics_.delta_apply_failures;
             return;  // base missing or moved; the next full resyncs
           }
-          core::StateCheckpoint base = std::move(entry->checkpoint);
-          const Status applied = core::ApplyDelta(&base, *shared);
+          // Applied in place on the stored base: ApplyDelta validates before
+          // mutating, so a rejected delta leaves the older consistent base.
+          const Status applied = core::ApplyDelta(&entry->checkpoint, *shared);
           if (!applied.ok()) {
             ++metrics_.delta_apply_failures;
             return;  // out-of-order delta; keep the older consistent base
           }
-          backups_.Store(owner_id, holder_id, std::move(base));
         } else {
           backups_.Store(owner_id, holder_id, std::move(*shared));
         }

@@ -379,9 +379,10 @@ bool OperatorInstance::CanCheckpointIncrementally() const {
     return false;
   }
   // The stored base must be at this sequence and at the holder Algorithm 1
-  // would pick now (upstream repartitioning moves the holder).
-  auto entry = cluster_->backups()->Retrieve(p_.id);
-  if (!entry.ok()) return false;
+  // would pick now (upstream repartitioning moves the holder). Find, not
+  // Retrieve: this runs before every checkpoint and must not copy the base.
+  const BackupStore::Entry* entry = cluster_->backups()->Find(p_.id);
+  if (entry == nullptr) return false;
   if (entry->checkpoint.seq != ckpt_seq_) return false;
   return entry->holder == cluster_->BackupHolderFor(this);
 }
@@ -399,11 +400,15 @@ core::StateCheckpoint OperatorInstance::MakeDeltaCheckpoint() {
   c.taken_at = cluster_->Now();
   c.positions = positions_;
   c.is_delta = true;
+  // The operator's dirty-key tracking makes this O(changed keys): only
+  // entries written since the base checkpoint are captured.
   core::StateDelta delta = operator_->TakeProcessingStateDelta();
   c.processing = std::move(delta.updated);
   c.deleted_keys = std::move(delta.deleted);
   // Buffer delta: tuples beyond the last shipped timestamp, plus the
-  // current buffer fronts so the holder can mirror our trims.
+  // current buffer fronts so the holder can mirror our trims. Buffers are
+  // timestamp-sorted, so the unshipped suffix starts at a binary search —
+  // the capture never rescans tuples already shipped with an earlier delta.
   for (const auto& [op_id, tuples] : buffer_.buffers()) {
     const int64_t shipped = [&] {
       auto it = shipped_buffer_back_.find(op_id);
@@ -411,8 +416,8 @@ core::StateCheckpoint OperatorInstance::MakeDeltaCheckpoint() {
     }();
     c.buffer_front[op_id] =
         tuples.empty() ? out_clock_ + 1 : tuples.front().timestamp;
-    for (const core::Tuple& t : tuples) {
-      if (t.timestamp > shipped) c.buffer.Append(op_id, t);
+    for (auto it = tuples.UpperBound(shipped); it != tuples.end(); ++it) {
+      c.buffer.Append(op_id, *it);
     }
     shipped_buffer_back_[op_id] =
         tuples.empty() ? out_clock_ : tuples.back().timestamp;
@@ -469,17 +474,19 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
                                     const std::vector<InstanceId>& targets,
                                     uint64_t fence_id) {
   std::map<InstanceId, core::TupleBatch> outgoing;
-  const std::vector<core::Tuple>* tuples = buffer_.Get(down);
+  const core::TupleBuffer* tuples = buffer_.Get(down);
   size_t replayed = 0;
   if (tuples != nullptr) {
-    for (const core::Tuple& t : *tuples) {
-      if (t.timestamp <= from_ts) continue;
+    // Timestamp-sorted buffer: start straight at the first tuple past the
+    // restore point instead of scanning the already-covered prefix.
+    for (auto it = tuples->UpperBound(from_ts); it != tuples->end(); ++it) {
+      const core::Tuple& t = *it;
       const InstanceId dest = cluster_->routing()->RouteKey(down, t.key);
       if (std::find(targets.begin(), targets.end(), dest) == targets.end()) {
         continue;
       }
-      auto [it, inserted] = sent_[down].try_emplace(dest, t.timestamp);
-      if (!inserted) it->second = std::max(it->second, t.timestamp);
+      auto [sent_it, inserted] = sent_[down].try_emplace(dest, t.timestamp);
+      if (!inserted) sent_it->second = std::max(sent_it->second, t.timestamp);
       outgoing[dest].tuples.push_back(t);
       ++replayed;
     }

@@ -19,12 +19,23 @@ class Encoder {
 
   void AppendU8(uint8_t v) { buf_.push_back(v); }
 
+  /// Grows the buffer's capacity by `n` bytes beyond the current size, so a
+  /// burst of appends (e.g. a whole checkpoint of known ByteSize) costs one
+  /// allocation instead of log(n) reallocation-and-copy cycles.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
   void AppendFixed32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+    const uint8_t staged[4] = {uint8_t(v), uint8_t(v >> 8), uint8_t(v >> 16),
+                               uint8_t(v >> 24)};
+    buf_.insert(buf_.end(), staged, staged + sizeof(staged));
   }
 
   void AppendFixed64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+    const uint8_t staged[8] = {uint8_t(v),       uint8_t(v >> 8),
+                               uint8_t(v >> 16), uint8_t(v >> 24),
+                               uint8_t(v >> 32), uint8_t(v >> 40),
+                               uint8_t(v >> 48), uint8_t(v >> 56)};
+    buf_.insert(buf_.end(), staged, staged + sizeof(staged));
   }
 
   /// LEB128 variable-length unsigned integer.
@@ -57,6 +68,46 @@ class Encoder {
   void AppendRaw(const void* data, size_t n) {
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Grows the buffer by exactly `n` bytes and returns a pointer to the new
+  /// region, which the caller must fully overwrite (via the Write* helpers
+  /// below). Bulk encoders of known size use this to replace per-append
+  /// bounds checks with raw pointer stores — one resize, one pass.
+  uint8_t* Extend(size_t n) {
+    const size_t old = buf_.size();
+    buf_.resize(old + n);
+    return buf_.data() + old;
+  }
+
+  /// Raw-pointer variants of the appends, for writing into Extend() regions.
+  /// Each returns the advanced cursor.
+  static uint8_t* WriteFixed64(uint8_t* p, uint64_t v) {
+    const uint8_t staged[8] = {uint8_t(v),       uint8_t(v >> 8),
+                               uint8_t(v >> 16), uint8_t(v >> 24),
+                               uint8_t(v >> 32), uint8_t(v >> 40),
+                               uint8_t(v >> 48), uint8_t(v >> 56)};
+    std::memcpy(p, staged, sizeof(staged));
+    return p + sizeof(staged);
+  }
+
+  static uint8_t* WriteVarint64(uint8_t* p, uint64_t v) {
+    while (v >= 0x80) {
+      *p++ = uint8_t(v) | 0x80;
+      v >>= 7;
+    }
+    *p++ = uint8_t(v);
+    return p;
+  }
+
+  /// Encoded size of AppendVarint64(v)/WriteVarint64(v), without encoding.
+  static size_t VarintSize(uint64_t v) {
+    size_t n = 1;
+    while (v >= 0x80) {
+      ++n;
+      v >>= 7;
+    }
+    return n;
   }
 
   const std::vector<uint8_t>& buffer() const { return buf_; }

@@ -8,6 +8,7 @@ namespace seep::serde {
 
 std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload) {
   Encoder enc;
+  enc.Reserve(12 + payload.size());
   enc.AppendFixed64(payload.size());
   enc.AppendFixed32(Crc32c(payload.data(), payload.size()));
   enc.AppendRaw(payload.data(), payload.size());

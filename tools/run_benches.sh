@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the benches in Release mode and runs the state hot-path
+# micro-benchmark, leaving BENCH_state_hot_paths.json in the repo root.
+#
+# Usage: tools/run_benches.sh [extra bench binaries...]
+#   tools/run_benches.sh                         # hot-path bench only
+#   tools/run_benches.sh bench_fig12_ckpt_interval bench_fig14_ckpt_overhead
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_state_hot_paths "$@"
+
+"${build_dir}/bench/bench_state_hot_paths" \
+    "${repo_root}/BENCH_state_hot_paths.json"
+
+for bench in "$@"; do
+  echo "==== ${bench} ===="
+  "${build_dir}/bench/${bench}"
+done
+
+echo "results: ${repo_root}/BENCH_state_hot_paths.json"
