@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::bench {
 namespace {

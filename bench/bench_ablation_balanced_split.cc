@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "runtime/operator_instance.h"
 #include "common/hash.h"
 #include "common/rng.h"
 

@@ -1,6 +1,7 @@
 #include "control/bottleneck_detector.h"
 
 #include "common/logging.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::control {
 

@@ -1,5 +1,7 @@
 #include "control/deployment_manager.h"
 
+#include "runtime/operator_instance.h"
+
 namespace seep::control {
 
 Status DeploymentManager::DeployAll(
@@ -27,7 +29,7 @@ Status DeploymentManager::DeployAll(
       const core::KeyRange range = spec.kind == core::VertexKind::kSource
                                        ? core::KeyRange::Full()
                                        : ranges[i];
-      auto deployed = cluster_->DeployInstance(spec.id, vm, range, i, count);
+      auto deployed = cluster_->membership()->DeployInstance(spec.id, vm, range, i, count);
       if (!deployed.ok()) return deployed.status();
       to_start.push_back(deployed.value());
       routes.push_back({range, deployed.value()});
@@ -41,7 +43,7 @@ Status DeploymentManager::DeployAll(
 
   cluster_->pool()->PrefillImmediate();
   for (InstanceId id : to_start) cluster_->GetInstance(id)->Start();
-  cluster_->RecordVmsInUse();
+  cluster_->membership()->RecordVmsInUse();
   return Status::OK();
 }
 

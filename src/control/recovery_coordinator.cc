@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::control {
 
@@ -97,14 +98,14 @@ void RecoveryCoordinator::RecoverUpstreamBackup(InstanceId failed,
 
   cluster_->pool()->Acquire([this, op, range, failed, event_index,
                              metrics](VmId vm) {
-    auto deployed = cluster_->DeployInstance(op, vm, range);
+    auto deployed = cluster_->membership()->DeployInstance(op, vm, range);
     SEEP_CHECK(deployed.ok());
     const InstanceId new_id = deployed.value();
     runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
     inst->Start();
     metrics->recoveries[event_index].restored_at = cluster_->Now();
 
-    cluster_->RetireInstance(failed, /*release_vm=*/false);
+    cluster_->membership()->RetireInstance(failed, /*release_vm=*/false);
     std::vector<core::RoutingState::Route> routes;
     for (InstanceId id : cluster_->InstancesOf(op)) {
       routes.push_back({cluster_->GetInstance(id)->key_range(), id});
@@ -114,7 +115,7 @@ void RecoveryCoordinator::RecoverUpstreamBackup(InstanceId failed,
     // Upstream backup: every upstream instance replays its (window-length)
     // buffer; the replacement rebuilds state by re-processing it all.
     std::vector<InstanceId> upstream = cluster_->UpstreamInstancesOf(op);
-    const uint64_t fence = cluster_->RegisterFence(
+    const uint64_t fence = cluster_->fences()->Register(
         static_cast<int>(upstream.size()), {new_id},
         [metrics, event_index](SimTime at) {
           metrics->recoveries[event_index].caught_up_at = at;
@@ -135,13 +136,13 @@ void RecoveryCoordinator::RecoverSourceReplay(InstanceId failed,
 
   cluster_->pool()->Acquire([this, op, range, failed, event_index,
                              metrics](VmId vm) {
-    auto deployed = cluster_->DeployInstance(op, vm, range);
+    auto deployed = cluster_->membership()->DeployInstance(op, vm, range);
     SEEP_CHECK(deployed.ok());
     const InstanceId new_id = deployed.value();
     cluster_->GetInstance(new_id)->Start();
     metrics->recoveries[event_index].restored_at = cluster_->Now();
 
-    cluster_->RetireInstance(failed, /*release_vm=*/false);
+    cluster_->membership()->RetireInstance(failed, /*release_vm=*/false);
     std::vector<core::RoutingState::Route> routes;
     for (InstanceId id : cluster_->InstancesOf(op)) {
       routes.push_back({cluster_->GetInstance(id)->key_range(), id});
@@ -162,7 +163,7 @@ void RecoveryCoordinator::RecoverSourceReplay(InstanceId failed,
     }
 
     const int expected = ExpectedSourceFences(op);
-    const uint64_t fence = cluster_->RegisterFence(
+    const uint64_t fence = cluster_->fences()->Register(
         expected, {new_id},
         [this, metrics, event_index, source_instances](SimTime at) {
           metrics->recoveries[event_index].caught_up_at = at;

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/state_ops.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::control {
 
@@ -139,7 +140,7 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
   std::vector<InstanceId> new_ids;
   for (uint32_t i = 0; i < pi; ++i) {
     auto deployed =
-        cluster_->DeployInstance(op, vms[i], (*shared_parts)[i].key_range);
+        cluster_->membership()->DeployInstance(op, vms[i], (*shared_parts)[i].key_range);
     SEEP_CHECK(deployed.ok());
     new_ids.push_back(deployed.value());
   }
@@ -176,14 +177,14 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
     SEEP_CHECK(parent != nullptr);
     if (!recovery) {
       core::InputPositions parent_positions = parent->positions();
-      cluster_->StopInstance(target, /*release_vm=*/true);
+      cluster_->membership()->StopInstance(target, /*release_vm=*/true);
       if (!inherit_origin) {
         for (InstanceId id : new_ids) {
           cluster_->GetInstance(id)->SetSuppressUntil(parent_positions);
         }
       }
     } else {
-      cluster_->StopInstance(target, /*release_vm=*/false);
+      cluster_->membership()->StopInstance(target, /*release_vm=*/false);
     }
 
     // Algorithm 3 lines 9-14: stop upstream operators, repartition their
@@ -192,7 +193,7 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
         config_.control_delay,
         [this, op, new_ids, shared_parts, recovery, partitions_before,
          target, callbacks]() {
-          cluster_->FinalizeRetire(target);
+          cluster_->membership()->FinalizeRetire(target);
 
           std::vector<runtime::OperatorInstance*> upstream;
           for (InstanceId uid : cluster_->UpstreamInstancesOf(op)) {
@@ -221,7 +222,7 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
           // all have drained, the new partitions have caught up.
           uint64_t fence = 0;
           if (!upstream.empty()) {
-            fence = cluster_->RegisterFence(
+            fence = cluster_->fences()->Register(
                 static_cast<int>(upstream.size() * new_ids.size()),
                 std::set<InstanceId>(new_ids.begin(), new_ids.end()),
                 [callbacks](SimTime at) {
@@ -285,8 +286,8 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
           partition_delay,
           [this, h_vm = h->vm(), i_vm = inst->vm(), bytes,
            restore_one = std::move(restore_one)]() mutable {
-            cluster_->network()->Send(h_vm, i_vm, bytes,
-                                      std::move(restore_one));
+            cluster_->transport()->ShipState(h_vm, i_vm, bytes,
+                                             std::move(restore_one));
           });
     } else {
       cluster_->simulation()->Schedule(config_.control_delay,
@@ -371,15 +372,15 @@ void ScaleOutCoordinator::ScaleIn(OperatorId op, Callbacks callbacks) {
 
     cluster_->pool()->Acquire([this, op, a_id, b_id, upstream, shared,
                                callbacks](VmId vm) {
-      auto deployed = cluster_->DeployInstance(op, vm, shared->key_range);
+      auto deployed = cluster_->membership()->DeployInstance(op, vm, shared->key_range);
       SEEP_CHECK(deployed.ok());
       const InstanceId new_id = deployed.value();
       runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
       inst->Restore(*shared, /*inherit_origin=*/false);
       inst->Start();
 
-      cluster_->RetireInstance(a_id, /*release_vm=*/true);
-      cluster_->RetireInstance(b_id, /*release_vm=*/true);
+      cluster_->membership()->RetireInstance(a_id, /*release_vm=*/true);
+      cluster_->membership()->RetireInstance(b_id, /*release_vm=*/true);
 
       std::vector<core::RoutingState::Route> routes;
       for (InstanceId id : cluster_->InstancesOf(op)) {

@@ -1,0 +1,126 @@
+#include "runtime/checkpoint_plane.h"
+
+#include <utility>
+
+#include "runtime/cluster.h"
+#include "runtime/operator_instance.h"
+
+namespace seep::runtime {
+
+void CheckpointPlane::StartSchedule() { ScheduleTimer(); }
+
+void CheckpointPlane::ScheduleTimer() {
+  cluster_->simulation()->Schedule(
+      cluster_->config().checkpoint_interval, [this]() {
+        if (!inst_->alive() || inst_->stopped()) return;
+        if (!suspended_) {
+          JobScheduler::Job job;
+          job.kind = JobScheduler::Job::Kind::kCheckpoint;
+          inst_->EnqueueJob(std::move(job));
+        }
+        ScheduleTimer();
+      });
+}
+
+core::StateCheckpoint CheckpointPlane::MakeCheckpoint() {
+  core::Operator* op = inst_->operator_impl();
+  core::StateCheckpoint c;
+  c.op = inst_->op();
+  c.instance = inst_->id();
+  c.origin = inst_->origin();
+  c.key_range = inst_->key_range();
+  c.out_clock = inst_->out_clock();
+  c.seq = ++ckpt_seq_;
+  c.taken_at = cluster_->Now();
+  c.positions = inst_->positions();
+  if (op != nullptr && op->IsStateful()) {
+    c.processing = op->GetProcessingState();
+    // A full checkpoint captures everything; reset delta tracking so the
+    // next incremental checkpoint starts from this base.
+    op->ClearStateDelta();
+  }
+  const core::BufferState& buffer = inst_->buffer_state();
+  c.buffer = buffer;
+  for (const auto& [op_id, tuples] : buffer.buffers()) {
+    shipped_buffer_back_[op_id] =
+        tuples.empty() ? inst_->out_clock() : tuples.back().timestamp;
+  }
+  return c;
+}
+
+bool CheckpointPlane::CanCheckpointIncrementally() const {
+  const ClusterConfig& config = cluster_->config();
+  core::Operator* op = inst_->operator_impl();
+  if (!config.incremental_checkpoints) return false;
+  if (op == nullptr) return false;
+  // Stateless operators always qualify: their delta is just the new buffer
+  // tuples. Stateful operators must track dirty keys (including deletions).
+  if (op->IsStateful() && !op->SupportsIncrementalState()) {
+    return false;
+  }
+  // Periodic full resync bounds staleness after any failed delta apply.
+  if (config.full_checkpoint_every > 0 &&
+      (ckpt_seq_ + 1) % config.full_checkpoint_every == 0) {
+    return false;
+  }
+  // The stored base must be at this sequence and at the holder Algorithm 1
+  // would pick now (upstream repartitioning moves the holder). Find, not
+  // Retrieve: this runs before every checkpoint and must not copy the base.
+  const BackupStore::Entry* entry = cluster_->backups()->Find(inst_->id());
+  if (entry == nullptr) return false;
+  if (entry->checkpoint.seq != ckpt_seq_) return false;
+  return entry->holder == cluster_->transport()->BackupHolderFor(inst_);
+}
+
+core::StateCheckpoint CheckpointPlane::MakeDeltaCheckpoint() {
+  core::StateCheckpoint c;
+  c.op = inst_->op();
+  c.instance = inst_->id();
+  c.origin = inst_->origin();
+  c.key_range = inst_->key_range();
+  c.out_clock = inst_->out_clock();
+  c.seq = ckpt_seq_ + 1;
+  c.base_seq = ckpt_seq_;
+  ++ckpt_seq_;
+  c.taken_at = cluster_->Now();
+  c.positions = inst_->positions();
+  c.is_delta = true;
+  // The operator's dirty-key tracking makes this O(changed keys): only
+  // entries written since the base checkpoint are captured.
+  core::StateDelta delta = inst_->operator_impl()->TakeProcessingStateDelta();
+  c.processing = std::move(delta.updated);
+  c.deleted_keys = std::move(delta.deleted);
+  // Buffer delta: tuples beyond the last shipped timestamp, plus the
+  // current buffer fronts so the holder can mirror our trims. Buffers are
+  // timestamp-sorted, so the unshipped suffix starts at a binary search —
+  // the capture never rescans tuples already shipped with an earlier delta.
+  for (const auto& [op_id, tuples] : inst_->buffer_state().buffers()) {
+    const int64_t shipped = [&] {
+      auto it = shipped_buffer_back_.find(op_id);
+      return it == shipped_buffer_back_.end() ? INT64_MIN : it->second;
+    }();
+    c.buffer_front[op_id] =
+        tuples.empty() ? inst_->out_clock() + 1 : tuples.front().timestamp;
+    for (auto it = tuples.UpperBound(shipped); it != tuples.end(); ++it) {
+      c.buffer.Append(op_id, *it);
+    }
+    shipped_buffer_back_[op_id] =
+        tuples.empty() ? inst_->out_clock() : tuples.back().timestamp;
+  }
+  return c;
+}
+
+void CheckpointPlane::OnRestore(const core::StateCheckpoint& checkpoint) {
+  ckpt_seq_ = checkpoint.seq;
+  shipped_buffer_back_.clear();
+  for (const auto& [op_id, tuples] : inst_->buffer_state().buffers()) {
+    if (!tuples.empty()) shipped_buffer_back_[op_id] = tuples.back().timestamp;
+  }
+}
+
+void CheckpointPlane::Reset() {
+  ckpt_seq_ = 0;
+  shipped_buffer_back_.clear();
+}
+
+}  // namespace seep::runtime

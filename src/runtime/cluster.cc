@@ -1,10 +1,6 @@
 #include "runtime/cluster.h"
 
-#include <algorithm>
-#include <utility>
-
-#include "common/logging.h"
-#include "core/state_ops.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::runtime {
 
@@ -13,260 +9,11 @@ Cluster::Cluster(const core::QueryGraph* graph, ClusterConfig config)
       config_(config),
       network_(&sim_, config.network),
       provider_(&sim_, config.provider, config.seed ^ 0xC10DD),
-      pool_(&sim_, &provider_, config.pool) {}
+      pool_(&sim_, &provider_, config.pool),
+      membership_(this),
+      fences_(this),
+      transport_(std::make_unique<SimTransport>(this)) {}
 
 Cluster::~Cluster() = default;
-
-// --------------------------------------------------------------- deployment
-
-Result<InstanceId> Cluster::DeployInstance(OperatorId op, VmId vm,
-                                           core::KeyRange range,
-                                           uint32_t source_index,
-                                           uint32_t source_count) {
-  const core::OperatorSpec* spec = graph_->Get(op);
-  if (spec == nullptr) return Status::NotFound("unknown operator");
-  const cloud::Vm* vm_info = provider_.GetVm(vm);
-  if (vm_info == nullptr) return Status::NotFound("unknown VM");
-  if (vm_info->state != cloud::VmState::kInUse &&
-      vm_info->state != cloud::VmState::kPooled) {
-    return Status::FailedPrecondition("VM not usable");
-  }
-  if (vm_to_instance_.contains(vm)) {
-    return Status::AlreadyExists("VM already hosts an instance");
-  }
-
-  OperatorInstance::Params params;
-  params.id = NextInstanceId();
-  params.op = op;
-  params.spec = spec;
-  params.vm = vm;
-  params.vm_capacity = vm_info->capacity;
-  params.range = range;
-  params.origin = NewOrigin();
-  params.source_index = source_index;
-  params.source_count = source_count;
-
-  auto instance = std::make_unique<OperatorInstance>(this, params);
-  const InstanceId id = params.id;
-  instances_.emplace(id, std::move(instance));
-  partitions_[op].push_back(id);
-  vm_to_instance_[vm] = id;
-  network_.Attach(vm);
-  RecordVmsInUse();
-  return id;
-}
-
-OperatorInstance* Cluster::GetInstance(InstanceId id) {
-  auto it = instances_.find(id);
-  return it == instances_.end() ? nullptr : it->second.get();
-}
-
-const OperatorInstance* Cluster::GetInstance(InstanceId id) const {
-  auto it = instances_.find(id);
-  return it == instances_.end() ? nullptr : it->second.get();
-}
-
-std::vector<InstanceId> Cluster::InstancesOf(OperatorId op) const {
-  auto it = partitions_.find(op);
-  return it == partitions_.end() ? std::vector<InstanceId>{} : it->second;
-}
-
-std::vector<InstanceId> Cluster::LiveInstancesOf(OperatorId op) const {
-  std::vector<InstanceId> out;
-  for (InstanceId id : InstancesOf(op)) {
-    const OperatorInstance* inst = GetInstance(id);
-    if (inst != nullptr && inst->alive() && !inst->stopped()) {
-      out.push_back(id);
-    }
-  }
-  return out;
-}
-
-std::vector<InstanceId> Cluster::UpstreamInstancesOf(OperatorId op) const {
-  std::vector<InstanceId> out;
-  for (OperatorId up : graph_->Upstream(op)) {
-    for (InstanceId id : LiveInstancesOf(up)) out.push_back(id);
-  }
-  return out;
-}
-
-void Cluster::RetireInstance(InstanceId id, bool release_vm) {
-  StopInstance(id, release_vm);
-  FinalizeRetire(id);
-}
-
-void Cluster::StopInstance(InstanceId id, bool release_vm) {
-  OperatorInstance* inst = GetInstance(id);
-  if (inst == nullptr) return;
-  inst->Stop();
-  if (release_vm && inst->vm() != kInvalidVm) {
-    network_.Detach(inst->vm());
-    vm_to_instance_.erase(inst->vm());
-    (void)provider_.ReleaseVm(inst->vm());
-  }
-  RecordVmsInUse();
-}
-
-void Cluster::FinalizeRetire(InstanceId id) {
-  OperatorInstance* inst = GetInstance(id);
-  if (inst == nullptr) return;
-  auto& members = partitions_[inst->op()];
-  members.erase(std::remove(members.begin(), members.end(), id),
-                members.end());
-  backups_.Delete(id);
-  RecordVmsInUse();
-}
-
-// ------------------------------------------------------------------- failure
-
-Status Cluster::KillVm(VmId vm) {
-  auto it = vm_to_instance_.find(vm);
-  SEEP_RETURN_IF_ERROR(provider_.KillVm(vm));
-  network_.Detach(vm);
-  if (it != vm_to_instance_.end()) {
-    OperatorInstance* inst = GetInstance(it->second);
-    SEEP_CHECK(inst != nullptr);
-    inst->MarkDead(Now());
-    // Checkpoints stored on this VM die with it (paper §4.3's backup(o)
-    // failure case).
-    backups_.DropHeldBy(inst->id());
-    SEEP_LOG(kInfo, Now()) << "VM " << vm << " failed; instance "
-                           << inst->id() << " of op '"
-                           << inst->spec().name << "' lost";
-  }
-  RecordVmsInUse();
-  return Status::OK();
-}
-
-Status Cluster::KillOperator(OperatorId op) {
-  const std::vector<InstanceId> live = LiveInstancesOf(op);
-  if (live.empty()) return Status::NotFound("no live instance");
-  const OperatorInstance* inst = GetInstance(live.front());
-  return KillVm(inst->vm());
-}
-
-// ----------------------------------------------------------------- messaging
-
-void Cluster::SendBatch(OperatorInstance* from, InstanceId to,
-                        core::TupleBatch batch) {
-  batch.from = from->id();
-  const OperatorInstance* dest = GetInstance(to);
-  if (dest == nullptr) return;
-  const uint64_t bytes = batch.SerializedSize();
-  auto shared = std::make_shared<core::TupleBatch>(std::move(batch));
-  network_.Send(from->vm(), dest->vm(), bytes, [this, to, shared]() {
-    OperatorInstance* target = GetInstance(to);
-    if (target != nullptr) target->OnBatch(std::move(*shared));
-  });
-}
-
-InstanceId Cluster::BackupHolderFor(const OperatorInstance* owner) const {
-  const std::vector<InstanceId> upstream = UpstreamInstancesOf(owner->op());
-  if (upstream.empty()) return kInvalidInstance;
-  return config_.spread_backups
-             ? core::ChooseBackupInstance(owner->id(), upstream)
-             : upstream.front();
-}
-
-void Cluster::BackupCheckpoint(OperatorInstance* owner,
-                               core::StateCheckpoint ckpt) {
-  // Algorithm 1 line 2: spread backup load over upstream instances by hash
-  // (unless disabled for the ablation baseline).
-  const InstanceId holder_id = BackupHolderFor(owner);
-  if (holder_id == kInvalidInstance) return;  // no live upstream
-  OperatorInstance* holder = GetInstance(holder_id);
-  SEEP_CHECK(holder != nullptr);
-
-  const uint64_t bytes = ckpt.ByteSize();
-  const InstanceId owner_id = owner->id();
-  const OperatorId owner_op = owner->op();
-  auto shared = std::make_shared<core::StateCheckpoint>(std::move(ckpt));
-
-  network_.Send(
-      owner->vm(), holder->vm(), bytes,
-      // Checkpoint shipping is throttled background traffic: it must not
-      // delay the data path (the paper checkpoints asynchronously).
-      [this, owner_id, owner_op, holder_id, bytes, shared]() {
-        OperatorInstance* h = GetInstance(holder_id);
-        if (h == nullptr || !h->alive() || h->stopped()) return;
-        OperatorInstance* o = GetInstance(owner_id);
-        if (o == nullptr || !o->alive()) return;  // owner died meanwhile
-
-        // Algorithm 1 lines 3/5-7: store (or apply a delta onto the held
-        // base), superseding any previous holder.
-        const core::InputPositions positions = shared->positions;
-        if (shared->is_delta) {
-          runtime::BackupStore::Entry* entry = backups_.Mutable(owner_id);
-          if (entry == nullptr || entry->holder != holder_id) {
-            ++metrics_.delta_apply_failures;
-            return;  // base missing or moved; the next full resyncs
-          }
-          // Applied in place on the stored base: ApplyDelta validates before
-          // mutating, so a rejected delta leaves the older consistent base.
-          const Status applied = core::ApplyDelta(&entry->checkpoint, *shared);
-          if (!applied.ok()) {
-            ++metrics_.delta_apply_failures;
-            return;  // out-of-order delta; keep the older consistent base
-          }
-        } else {
-          backups_.Store(owner_id, holder_id, std::move(*shared));
-        }
-        metrics_.checkpoints_taken++;
-        metrics_.checkpoint_bytes += bytes;
-
-        // Algorithm 1 line 4: acknowledge the checkpointed positions to all
-        // upstream instances so they can trim their output buffers.
-        for (OperatorId up_op : graph_->Upstream(owner_op)) {
-          for (InstanceId uid : LiveInstancesOf(up_op)) {
-            OperatorInstance* u = GetInstance(uid);
-            u->OnTrimAck(owner_op, owner_id, positions.Get(u->origin()));
-          }
-        }
-      },
-      /*background=*/true);
-}
-
-// -------------------------------------------------------------------- fences
-
-uint64_t Cluster::RegisterFence(int expected, std::set<InstanceId> targets,
-                                std::function<void(SimTime)> on_complete) {
-  const uint64_t id = ++fence_counter_;
-  fences_.emplace(
-      id, Fence{std::move(targets), expected, std::move(on_complete)});
-  return id;
-}
-
-void Cluster::HandleFence(uint64_t fence_id, OperatorInstance* at) {
-  auto it = fences_.find(fence_id);
-  if (it == fences_.end()) return;
-  Fence& fence = it->second;
-  if (!fence.targets.contains(at->id())) {
-    // Not the destination: forward downstream so fences traverse
-    // intermediate operators (source-replay recovery).
-    for (OperatorId down : graph_->Downstream(at->op())) {
-      for (InstanceId dest : LiveInstancesOf(down)) {
-        core::TupleBatch fwd;
-        fwd.fence_id = fence_id;
-        fwd.replay = true;
-        SendBatch(at, dest, std::move(fwd));
-      }
-    }
-    return;
-  }
-  if (--fence.remaining > 0) return;
-  auto on_complete = std::move(fence.on_complete);
-  fences_.erase(it);
-  if (on_complete) on_complete(sim_.Now());
-}
-
-// ---------------------------------------------------------------------- misc
-
-void Cluster::RecordVmsInUse() {
-  size_t in_use = 0;
-  for (const auto& [id, inst] : instances_) {
-    if (inst->alive() && !inst->stopped()) ++in_use;
-  }
-  metrics_.vms_in_use.Add(sim_.Now(), static_cast<double>(in_use));
-}
 
 }  // namespace seep::runtime

@@ -1,10 +1,8 @@
 #ifndef SEEP_RUNTIME_CLUSTER_H_
 #define SEEP_RUNTIME_CLUSTER_H_
 
-#include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "cloud/cloud_provider.h"
@@ -13,12 +11,16 @@
 #include "core/query_graph.h"
 #include "core/state.h"
 #include "runtime/backup_store.h"
+#include "runtime/fence_registry.h"
+#include "runtime/membership.h"
 #include "runtime/metrics.h"
-#include "runtime/operator_instance.h"
+#include "runtime/transport.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 
 namespace seep::runtime {
+
+class OperatorInstance;
 
 /// Which fault-tolerance mechanism the deployment runs (paper §6.2 compares
 /// all three; kNone is the Fig. 14 no-checkpointing baseline).
@@ -66,12 +68,16 @@ struct ClusterConfig {
   uint64_t seed = 42;
 };
 
-/// Owns every mechanism of the simulated deployment: the event loop, the
-/// network, the cloud provider and VM pool, all operator instances, routing
-/// state, checkpoint backups and metrics. Policy (when to scale, how to
-/// recover) lives in control/ and acts through this interface — mirroring
-/// the paper's split between state management primitives and the SPS
-/// components that use them.
+/// The simulated deployment's substrate and subsystem wiring: event loop,
+/// network, cloud provider, VM pool, metrics, routing and backup directory,
+/// plus the three subsystems that own all runtime mechanism — Membership
+/// (instance lifecycle), Transport (message shipping) and FenceRegistry
+/// (replay fences). Policy (when to scale, how to recover) lives in
+/// control/ and acts through those subsystem interfaces — mirroring the
+/// paper's split between state management primitives and the SPS components
+/// that use them. Cluster itself only wires and exposes; every membership
+/// mutation goes through membership() and every message through
+/// transport().
 class Cluster {
  public:
   Cluster(const core::QueryGraph* graph, ClusterConfig config);
@@ -91,95 +97,45 @@ class Cluster {
   BackupStore* backups() { return &backups_; }
   SimTime Now() const { return sim_.Now(); }
 
-  // ------------------------------------------------------------ deployment
+  // --------------------------------------------------------------- planes
 
-  /// Creates an instance of logical operator `op` on `vm` covering `range`.
-  /// The instance is registered as a current partition of `op` but not
-  /// started; callers set routing and call Start.
-  Result<InstanceId> DeployInstance(OperatorId op, VmId vm,
-                                    core::KeyRange range,
-                                    uint32_t source_index = 0,
-                                    uint32_t source_count = 1);
+  /// Instance lifecycle and the partition/VM directories.
+  Membership* membership() { return &membership_; }
+  const Membership* membership() const { return &membership_; }
 
-  OperatorInstance* GetInstance(InstanceId id);
-  const OperatorInstance* GetInstance(InstanceId id) const;
+  /// All inter-instance message shipping.
+  Transport* transport() { return transport_.get(); }
 
-  /// Current partitions of a logical operator (includes failed instances
-  /// until a recovery replaces them — their buffers upstream must be
-  /// preserved meanwhile).
-  std::vector<InstanceId> InstancesOf(OperatorId op) const;
+  /// Replay-fence registration and delivery.
+  FenceRegistry* fences() { return &fences_; }
 
-  /// Same, restricted to alive instances.
-  std::vector<InstanceId> LiveInstancesOf(OperatorId op) const;
+  // ------------------------------------------------- read-side conveniences
+  // (lookups only — these delegate to membership(); mutations don't exist
+  // here.)
 
-  /// Alive instances of all upstream logical operators of `op` — the
-  /// candidate backup holders (Algorithm 1).
-  std::vector<InstanceId> UpstreamInstancesOf(OperatorId op) const;
-
-  /// Removes `id` from the current membership of its logical operator (it
-  /// was replaced); stops it and optionally releases its VM. The object
-  /// remains as a tombstone so in-flight events resolve safely.
-  void RetireInstance(InstanceId id, bool release_vm);
-
-  /// First half of retirement: stop the instance and release its VM, but
-  /// KEEP it in the membership. Until FinalizeRetire runs (atomically with
-  /// the routing switch that seeds the replacements' acknowledgement
-  /// positions), the stopped instance's frozen ack still constrains
-  /// upstream buffer trimming — otherwise a sibling partition's checkpoint
-  /// in the handover window could trim tuples the replacements still need.
-  void StopInstance(InstanceId id, bool release_vm);
-
-  /// Second half: removes `id` from membership and drops its backups.
-  void FinalizeRetire(InstanceId id);
-
+  OperatorInstance* GetInstance(InstanceId id) {
+    return membership_.GetInstance(id);
+  }
+  const OperatorInstance* GetInstance(InstanceId id) const {
+    return membership_.GetInstance(id);
+  }
+  std::vector<InstanceId> InstancesOf(OperatorId op) const {
+    return membership_.InstancesOf(op);
+  }
+  std::vector<InstanceId> LiveInstancesOf(OperatorId op) const {
+    return membership_.LiveInstancesOf(op);
+  }
+  std::vector<InstanceId> UpstreamInstancesOf(OperatorId op) const {
+    return membership_.UpstreamInstancesOf(op);
+  }
   const std::map<InstanceId, std::unique_ptr<OperatorInstance>>& instances()
       const {
-    return instances_;
+    return membership_.instances();
   }
-
-  // --------------------------------------------------------------- failure
-
-  /// Crash-stops a VM: the hosted instance dies, its network endpoint
-  /// detaches (in-flight messages drop), and any checkpoint backups stored
-  /// on it are lost.
-  Status KillVm(VmId vm);
-
-  /// Convenience for tests/benches: kills the VM hosting the (single)
-  /// current instance of `op`.
-  Status KillOperator(OperatorId op);
-
-  // ------------------------------------------------------------- messaging
-
-  /// Ships a tuple batch from one instance to another over the network.
-  void SendBatch(OperatorInstance* from, InstanceId to,
-                 core::TupleBatch batch);
-
-  /// Algorithm 1 backup-state: selects the holder by hashing over upstream
-  /// instances, ships the checkpoint over the network, stores it (applying
-  /// it onto the held copy when it is a delta), and sends trim
-  /// acknowledgements to the owner's upstream instances.
-  void BackupCheckpoint(OperatorInstance* owner, core::StateCheckpoint ckpt);
-
-  /// The holder Algorithm 1 would choose for `owner` right now, or
-  /// kInvalidInstance if there is no live upstream. Owners use this to
-  /// decide whether an incremental checkpoint can target the same holder
-  /// as the stored base.
-  InstanceId BackupHolderFor(const OperatorInstance* owner) const;
-
-  // ---------------------------------------------------------------- fences
-
-  /// Registers a replay fence: `expected` fence deliveries at instances in
-  /// `targets` complete the fence and invoke `on_complete(now)`.
-  uint64_t RegisterFence(int expected, std::set<InstanceId> targets,
-                         std::function<void(SimTime)> on_complete);
-
-  void HandleFence(uint64_t fence_id, OperatorInstance* at);
 
   // ----------------------------------------------------------------- misc
 
   core::OriginId NewOrigin() { return ++origin_counter_; }
-  InstanceId NextInstanceId() { return next_instance_id_++; }
-  void RecordVmsInUse();
 
  private:
   const core::QueryGraph* graph_;
@@ -192,20 +148,11 @@ class Cluster {
   core::RoutingState routing_;
   BackupStore backups_;
 
-  InstanceId next_instance_id_ = 0;
   core::OriginId origin_counter_ = 0;
-  uint64_t fence_counter_ = 0;
 
-  std::map<InstanceId, std::unique_ptr<OperatorInstance>> instances_;
-  std::map<OperatorId, std::vector<InstanceId>> partitions_;
-  std::map<VmId, InstanceId> vm_to_instance_;
-
-  struct Fence {
-    std::set<InstanceId> targets;
-    int remaining = 0;
-    std::function<void(SimTime)> on_complete;
-  };
-  std::map<uint64_t, Fence> fences_;
+  Membership membership_;
+  FenceRegistry fences_;
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace seep::runtime

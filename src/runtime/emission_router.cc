@@ -1,0 +1,64 @@
+#include "runtime/emission_router.h"
+
+#include <map>
+
+#include "common/macros.h"
+#include "runtime/cluster.h"
+#include "runtime/operator_instance.h"
+#include "runtime/trim_tracker.h"
+
+namespace seep::runtime {
+
+EmissionRouter::EmissionRouter(Cluster* cluster, OperatorInstance* instance,
+                               TrimTracker* trims)
+    : cluster_(cluster), inst_(instance), trims_(trims) {
+  downstream_ops_ = cluster_->graph()->Downstream(inst_->op());
+}
+
+void EmissionRouter::Flush(
+    std::vector<std::pair<int, core::Tuple>>* emissions,
+    const std::vector<bool>* suppressed) {
+  std::map<InstanceId, core::TupleBatch> outgoing;
+  for (size_t i = 0; i < emissions->size(); ++i) {
+    auto& [port, tuple] = (*emissions)[i];
+    SEEP_CHECK_LT(static_cast<size_t>(port), downstream_ops_.size());
+    const OperatorId down = downstream_ops_[static_cast<size_t>(port)];
+    tuple.timestamp = ++out_clock_;
+    tuple.origin = inst_->origin();
+    // Suppressed emissions rebuild state only; the stopped parent already
+    // delivered (and buffered through its checkpoint) these outputs.
+    if (suppressed != nullptr && (*suppressed)[i]) continue;
+    if (BuffersTo(down)) inst_->buffer_state().Append(down, tuple);
+    const InstanceId dest = cluster_->routing()->RouteKey(down, tuple.key);
+    if (dest == kInvalidInstance) continue;
+    trims_->NoteSent(down, dest, tuple.timestamp);
+    outgoing[dest].tuples.push_back(std::move(tuple));
+  }
+  for (auto& [dest, batch] : outgoing) {
+    cluster_->transport()->SendBatch(inst_, dest, std::move(batch));
+  }
+}
+
+void EmissionRouter::SetSuppressUntil(core::InputPositions positions) {
+  suppress_until_ = std::move(positions);
+  suppressing_ = true;
+}
+
+bool EmissionRouter::BuffersTo(OperatorId down_op) const {
+  const core::OperatorSpec* down = cluster_->graph()->Get(down_op);
+  // Sinks are assumed reliable (paper §2.2), so no replay buffer is needed
+  // for them. In source-replay mode only sources keep buffers.
+  if (down->kind == core::VertexKind::kSink) return false;
+  if (cluster_->config().ft_mode == FaultToleranceMode::kSourceReplay) {
+    return inst_->spec().kind == core::VertexKind::kSource;
+  }
+  return true;
+}
+
+void EmissionRouter::Reset() {
+  out_clock_ = 0;
+  suppress_until_ = core::InputPositions();
+  suppressing_ = false;
+}
+
+}  // namespace seep::runtime

@@ -1,0 +1,41 @@
+#include "runtime/fence_registry.h"
+
+#include <utility>
+
+#include "runtime/cluster.h"
+#include "runtime/operator_instance.h"
+
+namespace seep::runtime {
+
+uint64_t FenceRegistry::Register(int expected, std::set<InstanceId> targets,
+                                 std::function<void(SimTime)> on_complete) {
+  const uint64_t id = ++counter_;
+  fences_.emplace(
+      id, Fence{std::move(targets), expected, std::move(on_complete)});
+  return id;
+}
+
+void FenceRegistry::Handle(uint64_t fence_id, OperatorInstance* at) {
+  auto it = fences_.find(fence_id);
+  if (it == fences_.end()) return;
+  Fence& fence = it->second;
+  if (!fence.targets.contains(at->id())) {
+    // Not the destination: forward downstream so fences traverse
+    // intermediate operators (source-replay recovery).
+    for (OperatorId down : cluster_->graph()->Downstream(at->op())) {
+      for (InstanceId dest : cluster_->membership()->LiveInstancesOf(down)) {
+        core::TupleBatch fwd;
+        fwd.fence_id = fence_id;
+        fwd.replay = true;
+        cluster_->transport()->SendBatch(at, dest, std::move(fwd));
+      }
+    }
+    return;
+  }
+  if (--fence.remaining > 0) return;
+  auto on_complete = std::move(fence.on_complete);
+  fences_.erase(it);
+  if (on_complete) on_complete(cluster_->Now());
+}
+
+}  // namespace seep::runtime

@@ -1,0 +1,97 @@
+#ifndef SEEP_RUNTIME_MEMBERSHIP_H_
+#define SEEP_RUNTIME_MEMBERSHIP_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "core/key_range.h"
+
+namespace seep::runtime {
+
+class Cluster;
+class OperatorInstance;
+
+/// The deployment's membership plane: which physical instances exist, which
+/// logical operator each partitions, which VM hosts which instance, and the
+/// lifecycle transitions between those states (deploy, stop, two-phase
+/// retirement, crash). All membership *mutation* goes through this class;
+/// Cluster only exposes read-side lookups that delegate here.
+class Membership {
+ public:
+  explicit Membership(Cluster* cluster);
+  ~Membership();
+
+  Membership(const Membership&) = delete;
+  Membership& operator=(const Membership&) = delete;
+
+  /// Creates an instance of logical operator `op` on `vm` covering `range`.
+  /// The instance is registered as a current partition of `op` but not
+  /// started; callers set routing and call Start.
+  Result<InstanceId> DeployInstance(OperatorId op, VmId vm,
+                                    core::KeyRange range,
+                                    uint32_t source_index = 0,
+                                    uint32_t source_count = 1);
+
+  OperatorInstance* GetInstance(InstanceId id);
+  const OperatorInstance* GetInstance(InstanceId id) const;
+
+  /// Current partitions of a logical operator (includes failed instances
+  /// until a recovery replaces them — their buffers upstream must be
+  /// preserved meanwhile).
+  std::vector<InstanceId> InstancesOf(OperatorId op) const;
+
+  /// Same, restricted to alive instances.
+  std::vector<InstanceId> LiveInstancesOf(OperatorId op) const;
+
+  /// Alive instances of all upstream logical operators of `op` — the
+  /// candidate backup holders (Algorithm 1).
+  std::vector<InstanceId> UpstreamInstancesOf(OperatorId op) const;
+
+  /// Removes `id` from the current membership of its logical operator (it
+  /// was replaced); stops it and optionally releases its VM. The object
+  /// remains as a tombstone so in-flight events resolve safely.
+  void RetireInstance(InstanceId id, bool release_vm);
+
+  /// First half of retirement: stop the instance and release its VM, but
+  /// KEEP it in the membership. Until FinalizeRetire runs (atomically with
+  /// the routing switch that seeds the replacements' acknowledgement
+  /// positions), the stopped instance's frozen ack still constrains
+  /// upstream buffer trimming — otherwise a sibling partition's checkpoint
+  /// in the handover window could trim tuples the replacements still need.
+  void StopInstance(InstanceId id, bool release_vm);
+
+  /// Second half: removes `id` from membership and drops its backups.
+  void FinalizeRetire(InstanceId id);
+
+  /// Crash-stops a VM: the hosted instance dies, its network endpoint
+  /// detaches (in-flight messages drop), and any checkpoint backups stored
+  /// on it are lost.
+  Status KillVm(VmId vm);
+
+  /// Convenience for tests/benches: kills the VM hosting the (single)
+  /// current instance of `op`.
+  Status KillOperator(OperatorId op);
+
+  const std::map<InstanceId, std::unique_ptr<OperatorInstance>>& instances()
+      const {
+    return instances_;
+  }
+
+  /// Samples the number of alive, unstopped instances into the metrics
+  /// registry's VM-usage series.
+  void RecordVmsInUse();
+
+ private:
+  Cluster* cluster_;
+  InstanceId next_instance_id_ = 0;
+  std::map<InstanceId, std::unique_ptr<OperatorInstance>> instances_;
+  std::map<OperatorId, std::vector<InstanceId>> partitions_;
+  std::map<VmId, InstanceId> vm_to_instance_;
+};
+
+}  // namespace seep::runtime
+
+#endif  // SEEP_RUNTIME_MEMBERSHIP_H_

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "core/state_ops.h"
 #include "runtime/cluster.h"
 
 namespace seep::runtime {
@@ -25,7 +24,16 @@ class OperatorInstance::EmitCollector : public core::Collector {
 };
 
 OperatorInstance::OperatorInstance(Cluster* cluster, Params params)
-    : cluster_(cluster), p_(params), origin_(params.origin) {
+    : cluster_(cluster),
+      p_(params),
+      origin_(params.origin),
+      trims_(&buffer_,
+             [cluster](OperatorId op) {
+               return cluster->membership()->InstancesOf(op);
+             }),
+      router_(cluster, this, &trims_),
+      checkpoints_(cluster, this),
+      scheduler_(cluster->simulation(), this, params.vm_capacity) {
   SEEP_CHECK(p_.spec != nullptr);
   switch (p_.spec->kind) {
     case core::VertexKind::kSource:
@@ -38,7 +46,6 @@ OperatorInstance::OperatorInstance(Cluster* cluster, Params params)
       sink_ = p_.spec->sink_factory();
       break;
   }
-  downstream_ops_ = cluster_->graph()->Downstream(p_.op);
 }
 
 OperatorInstance::~OperatorInstance() = default;
@@ -57,7 +64,7 @@ void OperatorInstance::Start() {
   const FaultToleranceMode mode = cluster_->config().ft_mode;
   const bool is_inner = p_.spec->kind == core::VertexKind::kOperator;
   if (mode == FaultToleranceMode::kStateManagement && is_inner) {
-    ScheduleCheckpointTimer();
+    checkpoints_.StartSchedule();
   }
   // Age-based buffer trimming replaces checkpoint-driven trimming in the
   // baselines (and bounds buffers when checkpointing is off entirely).
@@ -66,24 +73,18 @@ void OperatorInstance::Start() {
 
 void OperatorInstance::Stop() {
   stopped_ = true;
-  queue_.clear();
-  queued_tuples_ = 0;
+  scheduler_.Clear();
 }
 
 void OperatorInstance::MarkDead(SimTime now) {
   alive_ = false;
   died_at_ = now;
-  queue_.clear();
-  queued_tuples_ = 0;
+  scheduler_.Clear();
 }
 
-void OperatorInstance::Pause() { paused_ = true; }
+void OperatorInstance::Pause() { scheduler_.Pause(); }
 
-void OperatorInstance::Resume() {
-  if (!paused_) return;
-  paused_ = false;
-  TryStartJob();
-}
+void OperatorInstance::Resume() { scheduler_.Resume(); }
 
 // -------------------------------------------------------------------- arrival
 
@@ -91,51 +92,34 @@ void OperatorInstance::OnBatch(core::TupleBatch batch) {
   if (!alive_ || stopped_) return;
   const size_t n = batch.tuples.size();
   if (batch.fence_id == 0 && !batch.replay &&
-      queued_tuples_ + n > cluster_->config().max_queue_tuples) {
+      scheduler_.queued_tuples() + n > cluster_->config().max_queue_tuples) {
     cluster_->metrics()->dropped_tuples.Add(cluster_->Now(), n);
     return;
   }
-  queued_tuples_ += n;
-  Job job;
-  job.kind = Job::Kind::kBatch;
+  JobScheduler::Job job;
+  job.kind = JobScheduler::Job::Kind::kBatch;
   job.batch = std::move(batch);
   EnqueueJob(std::move(job));
 }
 
-// ------------------------------------------------------------------ job queue
-
-void OperatorInstance::EnqueueJob(Job job) {
-  // Checkpoints jump the queue: the paper's checkpointing is asynchronous
-  // (get-processing-state briefly locks the operator), so a backlog of
-  // tuples must not delay the checkpoint — a late checkpoint delays trim
-  // acknowledgements, upstream buffers balloon, and the next recovery or
-  // scale-out replays far more than one interval's worth.
-  if (job.kind == Job::Kind::kCheckpoint) {
-    queue_.push_front(std::move(job));
-  } else {
-    queue_.push_back(std::move(job));
-  }
-  TryStartJob();
+void OperatorInstance::EnqueueJob(JobScheduler::Job job) {
+  scheduler_.Enqueue(std::move(job));
 }
 
-void OperatorInstance::TryStartJob() {
-  if (busy_ || paused_ || !alive_ || stopped_ || queue_.empty()) return;
+// ------------------------------------------------------------------ job hooks
 
-  auto job = std::make_shared<Job>(std::move(queue_.front()));
-  queue_.pop_front();
-
-  // Determine the job's CPU cost. Checkpoints snapshot state at job start
-  // (the paper's get-processing-state "locks all internal operator data
-  // structures") so their cost reflects the real encoded size.
+void OperatorInstance::PrepareJob(JobScheduler::Job* job) {
+  using Kind = JobScheduler::Job::Kind;
   switch (job->kind) {
-    case Job::Kind::kBatch:
+    case Kind::kBatch:
       job->cost_us = static_cast<double>(job->batch.tuples.size()) *
                      CostMicrosPerTuple();
       break;
-    case Job::Kind::kCheckpoint: {
+    case Kind::kCheckpoint: {
       job->ckpt = std::make_unique<core::StateCheckpoint>(
-          CanCheckpointIncrementally() ? MakeDeltaCheckpoint()
-                                       : MakeCheckpoint());
+          checkpoints_.CanCheckpointIncrementally()
+              ? checkpoints_.MakeDeltaCheckpoint()
+              : checkpoints_.MakeCheckpoint());
       if (job->ckpt->is_delta) {
         ++cluster_->metrics()->delta_checkpoints_taken;
       }
@@ -148,7 +132,7 @@ void OperatorInstance::TryStartJob() {
       job->cost_us = kib * cluster_->config().serialize_cost_us_per_kb;
       break;
     }
-    case Job::Kind::kTimer: {
+    case Kind::kTimer: {
       EmitCollector collector;
       operator_->OnTimer(cluster_->Now(), &collector);
       job->timer_emissions = std::move(collector.emissions);
@@ -157,27 +141,14 @@ void OperatorInstance::TryStartJob() {
       break;
     }
   }
-
-  busy_ = true;
-  const SimTime duration = std::max<SimTime>(
-      0, static_cast<SimTime>(job->cost_us / p_.vm_capacity));
-  const bool replay_catch_up =
-      job->kind == Job::Kind::kBatch && job->batch.replay;
-  if (!replay_catch_up) busy_accum_us_ += static_cast<double>(duration);
-  cluster_->simulation()->Schedule(duration, [this, job]() {
-    if (!alive_) return;
-    busy_ = false;
-    if (!stopped_) FinishJob(job.get());
-    TryStartJob();
-  });
 }
 
-void OperatorInstance::FinishJob(Job* job) {
+void OperatorInstance::FinishJob(JobScheduler::Job* job) {
+  using Kind = JobScheduler::Job::Kind;
   switch (job->kind) {
-    case Job::Kind::kBatch:
-      queued_tuples_ -= std::min(queued_tuples_, job->batch.tuples.size());
+    case Kind::kBatch:
       if (job->batch.fence_id != 0) {
-        cluster_->HandleFence(job->batch.fence_id, this);
+        cluster_->fences()->Handle(job->batch.fence_id, this);
         return;
       }
       if (sink_) {
@@ -186,11 +157,11 @@ void OperatorInstance::FinishJob(Job* job) {
         ProcessBatch(&job->batch);
       }
       break;
-    case Job::Kind::kCheckpoint:
-      cluster_->BackupCheckpoint(this, std::move(*job->ckpt));
+    case Kind::kCheckpoint:
+      cluster_->transport()->BackupCheckpoint(this, std::move(*job->ckpt));
       break;
-    case Job::Kind::kTimer:
-      FlushEmissions(&job->timer_emissions, nullptr);
+    case Kind::kTimer:
+      router_.Flush(&job->timer_emissions, nullptr);
       break;
   }
 }
@@ -203,8 +174,7 @@ void OperatorInstance::ProcessBatch(core::TupleBatch* batch) {
   for (core::Tuple& t : batch->tuples) {
     // Per-origin duplicate filtering: replayed tuples already reflected in
     // the restored state are discarded here (paper §3.2).
-    const bool suppress =
-        suppressing_ && t.timestamp <= suppress_until_.Get(t.origin);
+    const bool suppress = router_.ShouldSuppress(t.origin, t.timestamp);
     if (!positions_.Advance(t.origin, t.timestamp)) {
       ++metrics->duplicates_dropped;
       continue;
@@ -214,7 +184,7 @@ void OperatorInstance::ProcessBatch(core::TupleBatch* batch) {
     ++processed_tuples_;
   }
   ++metrics->tuples_processed;  // batch granularity is fine for this counter
-  FlushEmissions(&collector.emissions, &collector.suppressed);
+  router_.Flush(&collector.emissions, &collector.suppressed);
 }
 
 void OperatorInstance::ConsumeAtSink(core::TupleBatch* batch) {
@@ -238,61 +208,13 @@ void OperatorInstance::ConsumeAtSink(core::TupleBatch* batch) {
   }
 }
 
-void OperatorInstance::FlushEmissions(
-    std::vector<std::pair<int, core::Tuple>>* emissions,
-    const std::vector<bool>* suppressed) {
-  std::map<InstanceId, core::TupleBatch> outgoing;
-  for (size_t i = 0; i < emissions->size(); ++i) {
-    auto& [port, tuple] = (*emissions)[i];
-    SEEP_CHECK_LT(static_cast<size_t>(port), downstream_ops_.size());
-    const OperatorId down = downstream_ops_[static_cast<size_t>(port)];
-    tuple.timestamp = ++out_clock_;
-    tuple.origin = origin_;
-    // Suppressed emissions rebuild state only; the stopped parent already
-    // delivered (and buffered through its checkpoint) these outputs.
-    if (suppressed != nullptr && (*suppressed)[i]) continue;
-    if (BuffersTo(down)) buffer_.Append(down, tuple);
-    const InstanceId dest = cluster_->routing()->RouteKey(down, tuple.key);
-    if (dest == kInvalidInstance) continue;
-    sent_[down][dest] = tuple.timestamp;
-    outgoing[dest].tuples.push_back(std::move(tuple));
-  }
-  for (auto& [dest, batch] : outgoing) {
-    cluster_->SendBatch(this, dest, std::move(batch));
-  }
-}
-
-bool OperatorInstance::BuffersTo(OperatorId down_op) const {
-  const core::OperatorSpec* down = cluster_->graph()->Get(down_op);
-  // Sinks are assumed reliable (paper §2.2), so no replay buffer is needed
-  // for them. In source-replay mode only sources keep buffers.
-  if (down->kind == core::VertexKind::kSink) return false;
-  if (cluster_->config().ft_mode == FaultToleranceMode::kSourceReplay) {
-    return p_.spec->kind == core::VertexKind::kSource;
-  }
-  return true;
-}
-
 // ----------------------------------------------------------- periodic events
-
-void OperatorInstance::ScheduleCheckpointTimer() {
-  cluster_->simulation()->Schedule(
-      cluster_->config().checkpoint_interval, [this]() {
-        if (!alive_ || stopped_) return;
-        if (!checkpoints_suspended_) {
-          Job job;
-          job.kind = Job::Kind::kCheckpoint;
-          EnqueueJob(std::move(job));
-        }
-        ScheduleCheckpointTimer();
-      });
-}
 
 void OperatorInstance::ScheduleWindowTimer() {
   cluster_->simulation()->Schedule(operator_->TimerInterval(), [this]() {
     if (!alive_ || stopped_) return;
-    Job job;
-    job.kind = Job::Kind::kTimer;
+    JobScheduler::Job job;
+    job.kind = JobScheduler::Job::Kind::kTimer;
     EnqueueJob(std::move(job));
     ScheduleWindowTimer();
   });
@@ -303,7 +225,7 @@ void OperatorInstance::ScheduleSourceTick() {
   cluster_->simulation()->Schedule(dt, [this, dt]() {
     if (!alive_ || stopped_) return;
     ScheduleSourceTick();
-    if (paused_) {
+    if (scheduler_.paused()) {
       // Generation is halted (source-replay recovery pauses sources), but
       // the offered load is backlogged — a real feeder reads from a log —
       // and is emitted as a catch-up burst on resume.
@@ -325,7 +247,7 @@ void OperatorInstance::ScheduleSourceTick() {
     }
     cluster_->metrics()->source_tuples.Add(cluster_->Now(),
                                            collector.emissions.size());
-    FlushEmissions(&collector.emissions, nullptr);
+    router_.Flush(&collector.emissions, nullptr);
   });
 }
 
@@ -340,113 +262,16 @@ void OperatorInstance::ScheduleAgeTrim() {
 
 // ----------------------------------------------------------- state management
 
-core::StateCheckpoint OperatorInstance::MakeCheckpoint() {
-  core::StateCheckpoint c;
-  c.op = p_.op;
-  c.instance = p_.id;
-  c.origin = origin_;
-  c.key_range = p_.range;
-  c.out_clock = out_clock_;
-  c.seq = ++ckpt_seq_;
-  c.taken_at = cluster_->Now();
-  c.positions = positions_;
-  if (operator_ && operator_->IsStateful()) {
-    c.processing = operator_->GetProcessingState();
-    // A full checkpoint captures everything; reset delta tracking so the
-    // next incremental checkpoint starts from this base.
-    operator_->ClearStateDelta();
-  }
-  c.buffer = buffer_;
-  for (const auto& [op_id, tuples] : buffer_.buffers()) {
-    shipped_buffer_back_[op_id] =
-        tuples.empty() ? out_clock_ : tuples.back().timestamp;
-  }
-  return c;
-}
-
-bool OperatorInstance::CanCheckpointIncrementally() const {
-  const ClusterConfig& config = cluster_->config();
-  if (!config.incremental_checkpoints) return false;
-  if (operator_ == nullptr) return false;
-  // Stateless operators always qualify: their delta is just the new buffer
-  // tuples. Stateful operators must track dirty keys (including deletions).
-  if (operator_->IsStateful() && !operator_->SupportsIncrementalState()) {
-    return false;
-  }
-  // Periodic full resync bounds staleness after any failed delta apply.
-  if (config.full_checkpoint_every > 0 &&
-      (ckpt_seq_ + 1) % config.full_checkpoint_every == 0) {
-    return false;
-  }
-  // The stored base must be at this sequence and at the holder Algorithm 1
-  // would pick now (upstream repartitioning moves the holder). Find, not
-  // Retrieve: this runs before every checkpoint and must not copy the base.
-  const BackupStore::Entry* entry = cluster_->backups()->Find(p_.id);
-  if (entry == nullptr) return false;
-  if (entry->checkpoint.seq != ckpt_seq_) return false;
-  return entry->holder == cluster_->BackupHolderFor(this);
-}
-
-core::StateCheckpoint OperatorInstance::MakeDeltaCheckpoint() {
-  core::StateCheckpoint c;
-  c.op = p_.op;
-  c.instance = p_.id;
-  c.origin = origin_;
-  c.key_range = p_.range;
-  c.out_clock = out_clock_;
-  c.seq = ckpt_seq_ + 1;
-  c.base_seq = ckpt_seq_;
-  ++ckpt_seq_;
-  c.taken_at = cluster_->Now();
-  c.positions = positions_;
-  c.is_delta = true;
-  // The operator's dirty-key tracking makes this O(changed keys): only
-  // entries written since the base checkpoint are captured.
-  core::StateDelta delta = operator_->TakeProcessingStateDelta();
-  c.processing = std::move(delta.updated);
-  c.deleted_keys = std::move(delta.deleted);
-  // Buffer delta: tuples beyond the last shipped timestamp, plus the
-  // current buffer fronts so the holder can mirror our trims. Buffers are
-  // timestamp-sorted, so the unshipped suffix starts at a binary search —
-  // the capture never rescans tuples already shipped with an earlier delta.
-  for (const auto& [op_id, tuples] : buffer_.buffers()) {
-    const int64_t shipped = [&] {
-      auto it = shipped_buffer_back_.find(op_id);
-      return it == shipped_buffer_back_.end() ? INT64_MIN : it->second;
-    }();
-    c.buffer_front[op_id] =
-        tuples.empty() ? out_clock_ + 1 : tuples.front().timestamp;
-    for (auto it = tuples.UpperBound(shipped); it != tuples.end(); ++it) {
-      c.buffer.Append(op_id, *it);
-    }
-    shipped_buffer_back_[op_id] =
-        tuples.empty() ? out_clock_ : tuples.back().timestamp;
-  }
-  return c;
-}
-
 void OperatorInstance::Restore(const core::StateCheckpoint& checkpoint,
                                bool inherit_origin) {
   if (inherit_origin) {
     origin_ = checkpoint.origin;
-    out_clock_ = checkpoint.out_clock;
+    router_.set_out_clock(checkpoint.out_clock);
   }
   positions_ = checkpoint.positions;
   if (operator_) operator_->SetProcessingState(checkpoint.processing);
   buffer_ = checkpoint.buffer;
-  // Continue the checkpoint lineage: the restored state equals the stored
-  // base of this sequence number, so subsequent delta checkpoints apply
-  // cleanly on top of it.
-  ckpt_seq_ = checkpoint.seq;
-  shipped_buffer_back_.clear();
-  for (const auto& [op_id, tuples] : buffer_.buffers()) {
-    if (!tuples.empty()) shipped_buffer_back_[op_id] = tuples.back().timestamp;
-  }
-}
-
-void OperatorInstance::SetSuppressUntil(core::InputPositions positions) {
-  suppress_until_ = std::move(positions);
-  suppressing_ = true;
+  checkpoints_.OnRestore(checkpoint);
 }
 
 void OperatorInstance::MergeState(const core::ProcessingState& state) {
@@ -456,15 +281,11 @@ void OperatorInstance::MergeState(const core::ProcessingState& state) {
 
 void OperatorInstance::ResetEmpty(core::OriginId fresh_origin) {
   origin_ = fresh_origin;
-  out_clock_ = 0;
+  router_.Reset();
   positions_ = core::InputPositions();
-  suppress_until_ = core::InputPositions();
-  suppressing_ = false;
   buffer_ = core::BufferState();
-  queue_.clear();
-  queued_tuples_ = 0;
-  ckpt_seq_ = 0;
-  shipped_buffer_back_.clear();
+  scheduler_.Clear();
+  checkpoints_.Reset();
   if (operator_) operator_->SetProcessingState(core::ProcessingState());
 }
 
@@ -485,8 +306,7 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
       if (std::find(targets.begin(), targets.end(), dest) == targets.end()) {
         continue;
       }
-      auto [sent_it, inserted] = sent_[down].try_emplace(dest, t.timestamp);
-      if (!inserted) sent_it->second = std::max(sent_it->second, t.timestamp);
+      trims_.NoteSent(down, dest, t.timestamp);
       outgoing[dest].tuples.push_back(t);
       ++replayed;
     }
@@ -494,7 +314,7 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
   cluster_->metrics()->tuples_replayed += replayed;
   for (auto& [dest, batch] : outgoing) {
     batch.replay = true;
-    cluster_->SendBatch(this, dest, std::move(batch));
+    cluster_->transport()->SendBatch(this, dest, std::move(batch));
   }
   if (fence_id != 0) {
     // The fence follows the replay batches on the same FIFO links, so its
@@ -503,74 +323,9 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
       core::TupleBatch fence;
       fence.fence_id = fence_id;
       fence.replay = true;
-      cluster_->SendBatch(this, dest, std::move(fence));
+      cluster_->transport()->SendBatch(this, dest, std::move(fence));
     }
   }
-}
-
-void OperatorInstance::OnTrimAck(OperatorId down_op, InstanceId down_instance,
-                                 int64_t position) {
-  auto& acks = acks_[down_op];
-  auto [it, inserted] = acks.try_emplace(down_instance, position);
-  if (!inserted) it->second = std::max(it->second, position);
-  MaybeTrim(down_op);
-}
-
-void OperatorInstance::PruneAcks(OperatorId down_op) {
-  const std::vector<InstanceId> current = cluster_->InstancesOf(down_op);
-  auto prune = [&](std::map<InstanceId, int64_t>* table) {
-    for (auto entry = table->begin(); entry != table->end();) {
-      if (std::find(current.begin(), current.end(), entry->first) ==
-          current.end()) {
-        entry = table->erase(entry);
-      } else {
-        ++entry;
-      }
-    }
-  };
-  if (auto it = acks_.find(down_op); it != acks_.end()) prune(&it->second);
-  if (auto it = sent_.find(down_op); it != sent_.end()) prune(&it->second);
-}
-
-void OperatorInstance::SeedAck(OperatorId down_op, InstanceId down_instance,
-                               int64_t position) {
-  acks_[down_op][down_instance] = position;
-}
-
-void OperatorInstance::MaybeTrim(OperatorId down_op) {
-  // Trim to the minimum acknowledged position over the current partitions
-  // that still have outstanding (sent but not checkpoint-covered) tuples
-  // from this instance. Partitions with nothing outstanding don't constrain
-  // the trim: every tuple routed to them is reflected in their latest
-  // checkpoint, so recovery never replays it.
-  const std::vector<InstanceId> current = cluster_->InstancesOf(down_op);
-  if (current.empty()) return;
-  const auto& acks = acks_[down_op];
-  const auto& sent = sent_[down_op];
-  auto lookup = [](const std::map<InstanceId, int64_t>& table,
-                   InstanceId id) {
-    auto it = table.find(id);
-    return it == table.end() ? INT64_MIN : it->second;
-  };
-  int64_t bound = INT64_MAX;
-  int64_t max_sent = INT64_MIN;
-  for (InstanceId inst : current) {
-    const int64_t s = lookup(sent, inst);
-    const int64_t a = lookup(acks, inst);
-    max_sent = std::max(max_sent, s);
-    if (s > a) bound = std::min(bound, a);
-  }
-  if (bound == INT64_MAX) {
-    // Nothing outstanding anywhere: everything sent so far is covered.
-    bound = max_sent;
-  }
-  if (bound > INT64_MIN) buffer_.Trim(down_op, bound);
-}
-
-double OperatorInstance::TakeBusyMicros() {
-  const double v = busy_accum_us_;
-  busy_accum_us_ = 0;
-  return v;
 }
 
 }  // namespace seep::runtime

@@ -1,8 +1,6 @@
 #ifndef SEEP_RUNTIME_OPERATOR_INSTANCE_H_
 #define SEEP_RUNTIME_OPERATOR_INSTANCE_H_
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -12,18 +10,25 @@
 #include "core/query_graph.h"
 #include "core/state.h"
 #include "core/tuple.h"
+#include "runtime/checkpoint_plane.h"
+#include "runtime/emission_router.h"
+#include "runtime/job_scheduler.h"
+#include "runtime/trim_tracker.h"
 
 namespace seep::runtime {
 
 class Cluster;
 
 /// A physical partitioned operator (the paper's o^i) running on one
-/// simulated VM. Models a single-server FIFO queue: tuple batches,
-/// checkpoints and window timers are jobs whose service time is derived from
-/// per-tuple/per-byte CPU costs divided by the VM's capacity. All state
-/// management hooks (checkpoint, restore, replay, trim, suppression) live
-/// here; coordination policy lives in control/.
-class OperatorInstance {
+/// simulated VM: the lifecycle glue around four composed components.
+/// JobScheduler models the single-server FIFO queue (batches, checkpoints
+/// and window timers as jobs with CPU-derived service times); CheckpointPlane
+/// owns the full/delta checkpoint schedule and lineage; TrimTracker owns the
+/// ack/sent bookkeeping that drives output-buffer trimming; EmissionRouter
+/// stamps, buffers, routes and ships emissions. This class keeps identity,
+/// liveness, input positions and the replay buffer, and wires the data path
+/// through the components; coordination policy lives in control/.
+class OperatorInstance : private JobScheduler::Host {
  public:
   struct Params {
     InstanceId id = kInvalidInstance;
@@ -38,7 +43,7 @@ class OperatorInstance {
   };
 
   OperatorInstance(Cluster* cluster, Params params);
-  ~OperatorInstance();
+  ~OperatorInstance() override;
 
   OperatorInstance(const OperatorInstance&) = delete;
   OperatorInstance& operator=(const OperatorInstance&) = delete;
@@ -49,9 +54,13 @@ class OperatorInstance {
   const core::OperatorSpec& spec() const { return *p_.spec; }
   const core::KeyRange& key_range() const { return p_.range; }
   core::OriginId origin() const { return origin_; }
-  bool alive() const { return alive_; }
-  bool stopped() const { return stopped_; }
-  bool idle() const { return !busy_ && queue_.empty(); }
+  bool alive() const override { return alive_; }
+  bool stopped() const override { return stopped_; }
+  bool idle() const { return scheduler_.idle(); }
+
+  /// The operator implementation, or null for sources/sinks. Components use
+  /// this for state capture; it is not a way around the instance's API.
+  core::Operator* operator_impl() const { return operator_.get(); }
 
   // ------------------------------------------------------------- lifecycle
 
@@ -74,33 +83,38 @@ class OperatorInstance {
   void Resume();
 
   /// Freezes the checkpoint schedule while the scale-out coordinator is
-  /// partitioning this instance's backed-up state: a fresher checkpoint
-  /// landing mid-operation would trim upstream buffers past the restore
-  /// point. (The paper's Algorithm 3 likewise never asks the overloaded
-  /// operator to checkpoint during its own scale out.)
-  void SuspendCheckpoints() { checkpoints_suspended_ = true; }
-  void ResumeCheckpoints() { checkpoints_suspended_ = false; }
+  /// partitioning this instance's backed-up state (see CheckpointPlane).
+  void SuspendCheckpoints() { checkpoints_.Suspend(); }
+  void ResumeCheckpoints() { checkpoints_.Resume(); }
 
   // ------------------------------------------------------------- data path
 
   /// Delivery of a batch from the network (or a fence).
   void OnBatch(core::TupleBatch batch);
 
+  /// Adds a job to this instance's FIFO queue (the checkpoint plane
+  /// enqueues checkpoint jobs through this).
+  void EnqueueJob(JobScheduler::Job job);
+
   // ------------------------------------------------------ state management
 
   /// checkpoint-state(o) → (θo, τo, βo): synchronous snapshot, used by the
   /// checkpoint job and by quiesced scale-in.
-  core::StateCheckpoint MakeCheckpoint();
+  core::StateCheckpoint MakeCheckpoint() {
+    return checkpoints_.MakeCheckpoint();
+  }
 
   /// Incremental variant: only the state entries changed since the previous
   /// checkpoint, new buffer tuples, and trim positions for the mirrored
   /// buffer. Requires the operator's SupportsIncrementalState().
-  core::StateCheckpoint MakeDeltaCheckpoint();
+  core::StateCheckpoint MakeDeltaCheckpoint() {
+    return checkpoints_.MakeDeltaCheckpoint();
+  }
 
-  /// Whether the next periodic checkpoint may be shipped as a delta
-  /// (incremental mode on, operator supports it, a full base is stored at
-  /// the holder Algorithm 1 currently selects, and no full resync is due).
-  bool CanCheckpointIncrementally() const;
+  /// Whether the next periodic checkpoint may be shipped as a delta.
+  bool CanCheckpointIncrementally() const {
+    return checkpoints_.CanCheckpointIncrementally();
+  }
 
   /// restore-state(o, θ, τ, β): installs a checkpoint. With `inherit_origin`
   /// the instance adopts the checkpoint's origin and output clock so that
@@ -113,7 +127,9 @@ class OperatorInstance {
   /// timestamps at or below these per-origin positions, state is updated but
   /// emissions are dropped — the stopped parent already delivered the
   /// corresponding outputs downstream.
-  void SetSuppressUntil(core::InputPositions positions);
+  void SetSuppressUntil(core::InputPositions positions) {
+    router_.SetSuppressUntil(std::move(positions));
+  }
 
   /// Merges another partition's processing state (quiesced scale-in).
   void MergeState(const core::ProcessingState& state);
@@ -125,8 +141,9 @@ class OperatorInstance {
   void ResetEmpty(core::OriginId fresh_origin);
 
   const core::InputPositions& positions() const { return positions_; }
-  int64_t out_clock() const { return out_clock_; }
+  int64_t out_clock() const { return router_.out_clock(); }
   core::BufferState& buffer_state() { return buffer_; }
+  const core::BufferState& buffer_state() const { return buffer_; }
 
   // --------------------------------------------------------------- replay
 
@@ -141,59 +158,44 @@ class OperatorInstance {
   /// this instance's origin; trim the output buffer when all current
   /// partitions of `down_op` have acknowledged (Algorithm 1 line 4).
   void OnTrimAck(OperatorId down_op, InstanceId down_instance,
-                 int64_t position);
+                 int64_t position) {
+    trims_.OnTrimAck(down_op, down_instance, position);
+  }
 
   /// Drops ack entries for instances no longer routed (after scale out /
   /// recovery replaced partitions).
-  void PruneAcks(OperatorId down_op);
+  void PruneAcks(OperatorId down_op) { trims_.PruneAcks(down_op); }
 
   /// Seeds the ack position of a freshly restored downstream instance from
   /// its restored checkpoint, so trimming can make progress.
-  void SeedAck(OperatorId down_op, InstanceId down_instance, int64_t position);
+  void SeedAck(OperatorId down_op, InstanceId down_instance,
+               int64_t position) {
+    trims_.SeedAck(down_op, down_instance, position);
+  }
 
   // -------------------------------------------------------------- metrics
 
-  /// Busy time (µs of wall simulated time this VM spent serving jobs) since
-  /// the last call; the bottleneck detector's CPU utilisation signal.
-  /// Catch-up work on replayed tuples is excluded: it is transient by
-  /// construction (bounded by one checkpoint interval of backlog), and
-  /// treating it as load would make every fresh partition look like a
-  /// bottleneck and trigger split storms.
-  double TakeBusyMicros();
+  /// Busy time since the last call (see JobScheduler::TakeBusyMicros).
+  double TakeBusyMicros() { return scheduler_.TakeBusyMicros(); }
 
-  size_t queued_tuples() const { return queued_tuples_; }
+  size_t queued_tuples() const { return scheduler_.queued_tuples(); }
   uint64_t processed_tuples() const { return processed_tuples_; }
 
   /// Per-tuple cost of this instance on the reference core, µs.
   double CostMicrosPerTuple() const;
 
  private:
-  friend class Cluster;
-
-  struct Job {
-    enum class Kind { kBatch, kCheckpoint, kTimer };
-    Kind kind = Kind::kBatch;
-    core::TupleBatch batch;                       // kBatch
-    std::unique_ptr<core::StateCheckpoint> ckpt;  // kCheckpoint (snapshot)
-    std::vector<std::pair<int, core::Tuple>> timer_emissions;  // kTimer
-    double cost_us = 0;
-  };
-
   class EmitCollector;
 
-  void EnqueueJob(Job job);
-  void TryStartJob();
-  void FinishJob(Job* job);
+  // JobScheduler::Host: job cost model / snapshot at start, effects at end.
+  void PrepareJob(JobScheduler::Job* job) override;
+  void FinishJob(JobScheduler::Job* job) override;
+
   void ProcessBatch(core::TupleBatch* batch);
   void ConsumeAtSink(core::TupleBatch* batch);
-  void FlushEmissions(std::vector<std::pair<int, core::Tuple>>* emissions,
-                      const std::vector<bool>* suppressed);
-  void ScheduleCheckpointTimer();
   void ScheduleWindowTimer();
   void ScheduleSourceTick();
   void ScheduleAgeTrim();
-  void MaybeTrim(OperatorId down_op);
-  bool BuffersTo(OperatorId down_op) const;
 
   Cluster* cluster_;
   Params p_;
@@ -205,38 +207,18 @@ class OperatorInstance {
 
   bool alive_ = true;
   bool stopped_ = false;
-  bool checkpoints_suspended_ = false;
   SimTime died_at_ = 0;
-  bool paused_ = false;
-  bool busy_ = false;
-
-  std::deque<Job> queue_;
-  size_t queued_tuples_ = 0;
 
   core::InputPositions positions_;
-  core::InputPositions suppress_until_;
-  bool suppressing_ = false;
-
   core::BufferState buffer_;
-  // Per downstream logical op: last checkpoint-acknowledged position of each
-  // current downstream instance (this instance's origin timestamps).
-  std::map<OperatorId, std::map<InstanceId, int64_t>> acks_;
-  // Per downstream logical op: highest timestamp sent to each downstream
-  // instance. A destination only constrains buffer trimming while it has
-  // outstanding (sent > acked) tuples; destinations that never receive
-  // tuples from this partition (key-preserving operators route each
-  // upstream partition to few downstream partitions) must not block trims.
-  std::map<OperatorId, std::map<InstanceId, int64_t>> sent_;
 
-  int64_t out_clock_ = 0;
-  uint64_t ckpt_seq_ = 0;
-  // Highest buffered timestamp shipped per downstream op (delta checkpoint
-  // bookkeeping).
-  std::map<OperatorId, int64_t> shipped_buffer_back_;
-  double busy_accum_us_ = 0;
   uint64_t processed_tuples_ = 0;
   SimTime owed_source_time_ = 0;  // generation backlog while paused
-  std::vector<OperatorId> downstream_ops_;  // port order (graph edge order)
+
+  TrimTracker trims_;
+  EmissionRouter router_;
+  CheckpointPlane checkpoints_;
+  JobScheduler scheduler_;
 };
 
 }  // namespace seep::runtime

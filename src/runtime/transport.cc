@@ -1,0 +1,103 @@
+#include "runtime/transport.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/state_ops.h"
+#include "runtime/cluster.h"
+#include "runtime/operator_instance.h"
+
+namespace seep::runtime {
+
+void SimTransport::SendBatch(OperatorInstance* from, InstanceId to,
+                             core::TupleBatch batch) {
+  batch.from = from->id();
+  Membership* members = cluster_->membership();
+  const OperatorInstance* dest = members->GetInstance(to);
+  if (dest == nullptr) return;
+  const uint64_t bytes = batch.SerializedSize();
+  auto shared = std::make_shared<core::TupleBatch>(std::move(batch));
+  cluster_->network()->Send(
+      from->vm(), dest->vm(), bytes, [members, to, shared]() {
+        OperatorInstance* target = members->GetInstance(to);
+        if (target != nullptr) target->OnBatch(std::move(*shared));
+      });
+}
+
+InstanceId SimTransport::BackupHolderFor(
+    const OperatorInstance* owner) const {
+  const std::vector<InstanceId> upstream =
+      cluster_->membership()->UpstreamInstancesOf(owner->op());
+  if (upstream.empty()) return kInvalidInstance;
+  return cluster_->config().spread_backups
+             ? core::ChooseBackupInstance(owner->id(), upstream)
+             : upstream.front();
+}
+
+void SimTransport::BackupCheckpoint(OperatorInstance* owner,
+                                    core::StateCheckpoint ckpt) {
+  // Algorithm 1 line 2: spread backup load over upstream instances by hash
+  // (unless disabled for the ablation baseline).
+  const InstanceId holder_id = BackupHolderFor(owner);
+  if (holder_id == kInvalidInstance) return;  // no live upstream
+  OperatorInstance* holder = cluster_->membership()->GetInstance(holder_id);
+  SEEP_CHECK(holder != nullptr);
+
+  const uint64_t bytes = ckpt.ByteSize();
+  const InstanceId owner_id = owner->id();
+  const OperatorId owner_op = owner->op();
+  auto shared = std::make_shared<core::StateCheckpoint>(std::move(ckpt));
+
+  cluster_->network()->Send(
+      owner->vm(), holder->vm(), bytes,
+      // Checkpoint shipping is throttled background traffic: it must not
+      // delay the data path (the paper checkpoints asynchronously).
+      [this, owner_id, owner_op, holder_id, bytes, shared]() {
+        Membership* members = cluster_->membership();
+        MetricsRegistry* metrics = cluster_->metrics();
+        OperatorInstance* h = members->GetInstance(holder_id);
+        if (h == nullptr || !h->alive() || h->stopped()) return;
+        OperatorInstance* o = members->GetInstance(owner_id);
+        if (o == nullptr || !o->alive()) return;  // owner died meanwhile
+
+        // Algorithm 1 lines 3/5-7: store (or apply a delta onto the held
+        // base), superseding any previous holder.
+        const core::InputPositions positions = shared->positions;
+        if (shared->is_delta) {
+          BackupStore::Entry* entry = cluster_->backups()->Mutable(owner_id);
+          if (entry == nullptr || entry->holder != holder_id) {
+            ++metrics->delta_apply_failures;
+            return;  // base missing or moved; the next full resyncs
+          }
+          // Applied in place on the stored base: ApplyDelta validates before
+          // mutating, so a rejected delta leaves the older consistent base.
+          const Status applied = core::ApplyDelta(&entry->checkpoint, *shared);
+          if (!applied.ok()) {
+            ++metrics->delta_apply_failures;
+            return;  // out-of-order delta; keep the older consistent base
+          }
+        } else {
+          cluster_->backups()->Store(owner_id, holder_id, std::move(*shared));
+        }
+        metrics->checkpoints_taken++;
+        metrics->checkpoint_bytes += bytes;
+
+        // Algorithm 1 line 4: acknowledge the checkpointed positions to all
+        // upstream instances so they can trim their output buffers.
+        for (OperatorId up_op : cluster_->graph()->Upstream(owner_op)) {
+          for (InstanceId uid : members->LiveInstancesOf(up_op)) {
+            OperatorInstance* u = members->GetInstance(uid);
+            u->OnTrimAck(owner_op, owner_id, positions.Get(u->origin()));
+          }
+        }
+      },
+      /*background=*/true);
+}
+
+void SimTransport::ShipState(VmId from, VmId to, uint64_t size_bytes,
+                             std::function<void()> on_delivery) {
+  cluster_->network()->Send(from, to, size_bytes, std::move(on_delivery));
+}
+
+}  // namespace seep::runtime

@@ -1,0 +1,70 @@
+#ifndef SEEP_RUNTIME_TRANSPORT_H_
+#define SEEP_RUNTIME_TRANSPORT_H_
+
+#include <functional>
+
+#include "common/ids.h"
+#include "core/state.h"
+#include "core/tuple.h"
+
+namespace seep::runtime {
+
+class Cluster;
+class OperatorInstance;
+
+/// All inter-instance message shipping: tuple batches on the data path,
+/// checkpoint backups (with their trim acknowledgements) on the background
+/// path, and bulk state shipping during scale out / recovery. Everything an
+/// instance or coordinator sends to another VM goes through this interface —
+/// a threaded or socket-based backend is a drop-in replacement for the
+/// simulated one.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships a tuple batch from one instance to another.
+  virtual void SendBatch(OperatorInstance* from, InstanceId to,
+                         core::TupleBatch batch) = 0;
+
+  /// Algorithm 1 backup-state: selects the holder by hashing over upstream
+  /// instances, ships the checkpoint, stores it (applying it onto the held
+  /// copy when it is a delta), and sends trim acknowledgements to the
+  /// owner's upstream instances.
+  virtual void BackupCheckpoint(OperatorInstance* owner,
+                                core::StateCheckpoint ckpt) = 0;
+
+  /// The holder Algorithm 1 would choose for `owner` right now, or
+  /// kInvalidInstance if there is no live upstream. Owners use this to
+  /// decide whether an incremental checkpoint can target the same holder
+  /// as the stored base.
+  virtual InstanceId BackupHolderFor(const OperatorInstance* owner) const = 0;
+
+  /// Bulk state shipping (partitioned checkpoints during scale out /
+  /// recovery): `size_bytes` from VM `from` to VM `to`, then `on_delivery`.
+  virtual void ShipState(VmId from, VmId to, uint64_t size_bytes,
+                         std::function<void()> on_delivery) = 0;
+};
+
+/// Transport over the deterministic `sim::Network`: batches pay the data
+/// path's bandwidth/latency; checkpoint shipping is throttled background
+/// traffic that must not delay the data path (the paper checkpoints
+/// asynchronously).
+class SimTransport : public Transport {
+ public:
+  explicit SimTransport(Cluster* cluster) : cluster_(cluster) {}
+
+  void SendBatch(OperatorInstance* from, InstanceId to,
+                 core::TupleBatch batch) override;
+  void BackupCheckpoint(OperatorInstance* owner,
+                        core::StateCheckpoint ckpt) override;
+  InstanceId BackupHolderFor(const OperatorInstance* owner) const override;
+  void ShipState(VmId from, VmId to, uint64_t size_bytes,
+                 std::function<void()> on_delivery) override;
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace seep::runtime
+
+#endif  // SEEP_RUNTIME_TRANSPORT_H_

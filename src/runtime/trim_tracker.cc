@@ -1,0 +1,72 @@
+#include "runtime/trim_tracker.h"
+
+#include <algorithm>
+
+namespace seep::runtime {
+
+void TrimTracker::NoteSent(OperatorId down_op, InstanceId dest,
+                           int64_t timestamp) {
+  auto [it, inserted] = sent_[down_op].try_emplace(dest, timestamp);
+  if (!inserted) it->second = std::max(it->second, timestamp);
+}
+
+void TrimTracker::OnTrimAck(OperatorId down_op, InstanceId down_instance,
+                            int64_t position) {
+  auto& acks = acks_[down_op];
+  auto [it, inserted] = acks.try_emplace(down_instance, position);
+  if (!inserted) it->second = std::max(it->second, position);
+  MaybeTrim(down_op);
+}
+
+void TrimTracker::PruneAcks(OperatorId down_op) {
+  const std::vector<InstanceId> current = current_members_(down_op);
+  auto prune = [&](std::map<InstanceId, int64_t>* table) {
+    for (auto entry = table->begin(); entry != table->end();) {
+      if (std::find(current.begin(), current.end(), entry->first) ==
+          current.end()) {
+        entry = table->erase(entry);
+      } else {
+        ++entry;
+      }
+    }
+  };
+  if (auto it = acks_.find(down_op); it != acks_.end()) prune(&it->second);
+  if (auto it = sent_.find(down_op); it != sent_.end()) prune(&it->second);
+}
+
+void TrimTracker::SeedAck(OperatorId down_op, InstanceId down_instance,
+                          int64_t position) {
+  acks_[down_op][down_instance] = position;
+}
+
+void TrimTracker::MaybeTrim(OperatorId down_op) {
+  // Trim to the minimum acknowledged position over the current partitions
+  // that still have outstanding (sent but not checkpoint-covered) tuples
+  // from this instance. Partitions with nothing outstanding don't constrain
+  // the trim: every tuple routed to them is reflected in their latest
+  // checkpoint, so recovery never replays it.
+  const std::vector<InstanceId> current = current_members_(down_op);
+  if (current.empty()) return;
+  const auto& acks = acks_[down_op];
+  const auto& sent = sent_[down_op];
+  auto lookup = [](const std::map<InstanceId, int64_t>& table,
+                   InstanceId id) {
+    auto it = table.find(id);
+    return it == table.end() ? INT64_MIN : it->second;
+  };
+  int64_t bound = INT64_MAX;
+  int64_t max_sent = INT64_MIN;
+  for (InstanceId inst : current) {
+    const int64_t s = lookup(sent, inst);
+    const int64_t a = lookup(acks, inst);
+    max_sent = std::max(max_sent, s);
+    if (s > a) bound = std::min(bound, a);
+  }
+  if (bound == INT64_MAX) {
+    // Nothing outstanding anywhere: everything sent so far is covered.
+    bound = max_sent;
+  }
+  if (bound > INT64_MIN) buffer_->Trim(down_op, bound);
+}
+
+}  // namespace seep::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::sps {
 
@@ -41,7 +42,7 @@ void Sps::RunUntil(double t_seconds) {
 
 void Sps::InjectFailure(OperatorId op, double at_seconds) {
   cluster_->simulation()->ScheduleAt(SecondsToSim(at_seconds), [this, op]() {
-    const Status status = cluster_->KillOperator(op);
+    const Status status = cluster_->membership()->KillOperator(op);
     if (!status.ok()) {
       SEEP_LOG(kWarn, cluster_->Now())
           << "failure injection on op " << op

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/operator_instance.h"
 #include "sps/sps.h"
 #include "workloads/wordcount/wordcount.h"
 

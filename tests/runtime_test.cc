@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "control/deployment_manager.h"
 #include "runtime/cluster.h"
+#include "runtime/operator_instance.h"
 
 namespace seep::runtime {
 namespace {
@@ -239,7 +240,7 @@ TEST(RuntimeTest, FenceCompletesAfterQueuedWork) {
   OperatorInstance* op = h.InstanceOf(h.op);
 
   SimTime fence_done = -1;
-  const uint64_t fence = h.cluster->RegisterFence(
+  const uint64_t fence = h.cluster->fences()->Register(
       1, {op->id()}, [&](SimTime at) { fence_done = at; });
   core::TupleBatch marker;
   marker.fence_id = fence;
@@ -259,7 +260,7 @@ TEST(RuntimeTest, KillVmDropsInstanceAndBackupsHeldThere) {
   ASSERT_TRUE(h.cluster->backups()->Has(op_instance));
 
   // Killing the source VM loses the checkpoint stored there.
-  ASSERT_TRUE(h.cluster->KillVm(src->vm()).ok());
+  ASSERT_TRUE(h.cluster->membership()->KillVm(src->vm()).ok());
   EXPECT_FALSE(h.cluster->backups()->Has(op_instance));
   EXPECT_FALSE(src->alive());
   EXPECT_EQ(src->died_at(), SecondsToSim(5));
