@@ -53,7 +53,8 @@ void BM_Fig06_LrbDynamicScaleOut(benchmark::State& state) {
       }
       in_rate /= static_cast<double>(n);
       out_rate /= static_cast<double>(n);
-      while (vm_idx < vm_series.size() && vm_series[vm_idx].time <= t + bucket) {
+      while (vm_idx < vm_series.size() &&
+             vm_series[vm_idx].time <= t + bucket) {
         vms = vm_series[vm_idx].value;
         ++vm_idx;
       }

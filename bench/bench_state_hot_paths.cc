@@ -286,11 +286,13 @@ void BenchDeltaApply(std::vector<Row>* rows, size_t n, int reps) {
   // The apply consumes the base, so each rep starts from an untimed copy —
   // only the application itself is measured.
   const auto fresh_base = [&] { return base; };
-  const double naive = TimeConsumingUs(reps, fresh_base, [&](StateCheckpoint& work) {
+  const double naive = TimeConsumingUs(
+      reps, fresh_base, [&](StateCheckpoint& work) {
     NaiveApplyDelta(&work, delta);
     SEEP_CHECK(work.seq == delta.seq);
   });
-  const double fast = TimeConsumingUs(reps, fresh_base, [&](StateCheckpoint& work) {
+  const double fast = TimeConsumingUs(
+      reps, fresh_base, [&](StateCheckpoint& work) {
     SEEP_CHECK(core::ApplyDelta(&work, delta).ok());
   });
   Report(rows, "delta_apply", n, naive, fast);
@@ -417,7 +419,8 @@ void WriteJson(FILE* f, const std::vector<Row>& rows) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "    {\"primitive\": \"%s\", \"size\": %zu, "
-                 "\"naive_us\": %.1f, \"fast_us\": %.1f, \"speedup\": %.2f}%s\n",
+                 "\"naive_us\": %.1f, \"fast_us\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
                  r.primitive, r.size, r.naive_us, r.fast_us,
                  r.naive_us / r.fast_us, i + 1 < rows.size() ? "," : "");
   }

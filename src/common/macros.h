@@ -3,6 +3,49 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+namespace seep::internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+/// Streams `v` when the type supports it; integral-promotes char-sized
+/// integers so they print as numbers, not glyphs.
+template <typename T>
+void PrintOperand(std::ostream& os, const T& v) {
+  if constexpr (std::is_integral_v<T> && sizeof(T) == 1) {
+    os << +v;
+  } else if constexpr (IsStreamable<T>::value) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Failure path of the SEEP_CHECK_OP family: prints the stringified
+/// comparison AND the operand values, then aborts. Out-of-line per
+/// instantiation keeps the passing path branch-only.
+template <typename A, typename B>
+[[noreturn]] inline void CheckOpFail(const char* file, int line,
+                                     const char* expr, const A& a,
+                                     const B& b) {
+  std::ostringstream msg;
+  PrintOperand(msg, a);
+  msg << " vs ";
+  PrintOperand(msg, b);
+  std::fprintf(stderr, "SEEP_CHECK failed at %s:%d: %s (%s)\n", file, line,
+               expr, msg.str().c_str());
+  std::abort();
+}
+
+}  // namespace seep::internal
 
 // Aborts the process with a message when `cond` is false. Used for invariant
 // violations that indicate programmer error, never for recoverable runtime
@@ -16,13 +59,52 @@
     }                                                                        \
   } while (0)
 
-#define SEEP_CHECK_OP(a, op, b) SEEP_CHECK((a)op(b))
+// Comparison checks that print the operand values on failure (operands are
+// evaluated exactly once).
+#define SEEP_CHECK_OP(a, op, b)                                           \
+  do {                                                                    \
+    auto&& _seep_va = (a);                                                \
+    auto&& _seep_vb = (b);                                                \
+    if (!(_seep_va op _seep_vb)) {                                        \
+      ::seep::internal::CheckOpFail(__FILE__, __LINE__,                   \
+                                    #a " " #op " " #b, _seep_va,          \
+                                    _seep_vb);                            \
+    }                                                                     \
+  } while (0)
+
 #define SEEP_CHECK_EQ(a, b) SEEP_CHECK_OP(a, ==, b)
 #define SEEP_CHECK_NE(a, b) SEEP_CHECK_OP(a, !=, b)
 #define SEEP_CHECK_LT(a, b) SEEP_CHECK_OP(a, <, b)
 #define SEEP_CHECK_LE(a, b) SEEP_CHECK_OP(a, <=, b)
 #define SEEP_CHECK_GT(a, b) SEEP_CHECK_OP(a, >, b)
 #define SEEP_CHECK_GE(a, b) SEEP_CHECK_OP(a, >=, b)
+
+// Debug-only checks: compiled in for debug builds (no NDEBUG) and for
+// SEEP_AUDIT builds (which define SEEP_DCHECK_ENABLED); compiled out —
+// condition parsed but never evaluated — in Release. Use for per-tuple /
+// per-event assertions too hot for the always-on SEEP_CHECK family.
+#if !defined(NDEBUG) || defined(SEEP_DCHECK_ENABLED)
+#define SEEP_DCHECK(cond) SEEP_CHECK(cond)
+#define SEEP_DCHECK_OP(a, op, b) SEEP_CHECK_OP(a, op, b)
+#else
+#define SEEP_DCHECK(cond)       \
+  do {                          \
+    if (false && (cond)) {      \
+    }                           \
+  } while (0)
+#define SEEP_DCHECK_OP(a, op, b)     \
+  do {                               \
+    if (false && ((a)op(b))) {       \
+    }                                \
+  } while (0)
+#endif
+
+#define SEEP_DCHECK_EQ(a, b) SEEP_DCHECK_OP(a, ==, b)
+#define SEEP_DCHECK_NE(a, b) SEEP_DCHECK_OP(a, !=, b)
+#define SEEP_DCHECK_LT(a, b) SEEP_DCHECK_OP(a, <, b)
+#define SEEP_DCHECK_LE(a, b) SEEP_DCHECK_OP(a, <=, b)
+#define SEEP_DCHECK_GT(a, b) SEEP_DCHECK_OP(a, >, b)
+#define SEEP_DCHECK_GE(a, b) SEEP_DCHECK_OP(a, >=, b)
 
 // Propagates a non-OK Status from an expression to the caller.
 #define SEEP_RETURN_IF_ERROR(expr)                 \

@@ -108,8 +108,8 @@ void RateCounter::Add(SimTime t, uint64_t n) {
 std::vector<TimeSeries::Point> RateCounter::RatesPerSecond() const {
   std::vector<TimeSeries::Point> out;
   out.reserve(buckets_.size());
-  const double scale =
-      static_cast<double>(kMicrosPerSecond) / static_cast<double>(bucket_width_);
+  const double scale = static_cast<double>(kMicrosPerSecond) /
+                       static_cast<double>(bucket_width_);
   for (size_t i = 0; i < buckets_.size(); ++i) {
     out.push_back({static_cast<SimTime>(i) * bucket_width_,
                    static_cast<double>(buckets_[i]) * scale});

@@ -29,7 +29,8 @@ Status DeploymentManager::DeployAll(
       const core::KeyRange range = spec.kind == core::VertexKind::kSource
                                        ? core::KeyRange::Full()
                                        : ranges[i];
-      auto deployed = cluster_->membership()->DeployInstance(spec.id, vm, range, i, count);
+      auto deployed = cluster_->membership()->DeployInstance(
+          spec.id, vm, range, i, count);
       if (!deployed.ok()) return deployed.status();
       to_start.push_back(deployed.value());
       routes.push_back({range, deployed.value()});
@@ -37,7 +38,7 @@ Status DeploymentManager::DeployAll(
     // Sources receive no tuples, so only non-sources need routes; setting
     // them uniformly is harmless and keeps the table complete.
     if (spec.kind != core::VertexKind::kSource) {
-      cluster_->routing()->SetRoutes(spec.id, std::move(routes));
+      cluster_->InstallRoutes(spec.id, std::move(routes));
     }
   }
 

@@ -110,7 +110,7 @@ void RecoveryCoordinator::RecoverUpstreamBackup(InstanceId failed,
     for (InstanceId id : cluster_->InstancesOf(op)) {
       routes.push_back({cluster_->GetInstance(id)->key_range(), id});
     }
-    cluster_->routing()->SetRoutes(op, std::move(routes));
+    cluster_->InstallRoutes(op, std::move(routes));
 
     // Upstream backup: every upstream instance replays its (window-length)
     // buffer; the replacement rebuilds state by re-processing it all.
@@ -147,7 +147,7 @@ void RecoveryCoordinator::RecoverSourceReplay(InstanceId failed,
     for (InstanceId id : cluster_->InstancesOf(op)) {
       routes.push_back({cluster_->GetInstance(id)->key_range(), id});
     }
-    cluster_->routing()->SetRoutes(op, std::move(routes));
+    cluster_->InstallRoutes(op, std::move(routes));
 
     // Source replay: pause generation, reset the whole pipeline, and
     // recompute everything from the sources' buffered history [29].

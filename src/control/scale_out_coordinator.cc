@@ -131,6 +131,11 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
     abort(parts_result.status());
     return;
   }
+  // Algorithm 2 audit: the split must exactly tile the parent's key range
+  // and conserve every state entry and buffered tuple.
+  if (auto* audit = cluster_->audit()) {
+    audit->OnPartitioned(base, parts_result.value());
+  }
   auto shared_parts = std::make_shared<std::vector<core::StateCheckpoint>>(
       std::move(parts_result).value());
   const SimTime partition_delay =
@@ -139,8 +144,8 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
   // Algorithm 3 lines 3-6: deploy π new partitioned operators and restore.
   std::vector<InstanceId> new_ids;
   for (uint32_t i = 0; i < pi; ++i) {
-    auto deployed =
-        cluster_->membership()->DeployInstance(op, vms[i], (*shared_parts)[i].key_range);
+    auto deployed = cluster_->membership()->DeployInstance(
+        op, vms[i], (*shared_parts)[i].key_range);
     SEEP_CHECK(deployed.ok());
     new_ids.push_back(deployed.value());
   }
@@ -208,7 +213,7 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
             const runtime::OperatorInstance* inst = cluster_->GetInstance(id);
             routes.push_back({inst->key_range(), id});
           }
-          cluster_->routing()->SetRoutes(op, std::move(routes));
+          cluster_->InstallRoutes(op, std::move(routes));
 
           const core::InputPositions& restored = (*shared_parts)[0].positions;
           for (auto* u : upstream) {
@@ -274,6 +279,12 @@ void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
         core::StateCheckpoint initial = part;
         initial.instance = new_id;
         initial.origin = inst->origin();
+        if (auto* audit = cluster_->audit()) {
+          const runtime::OperatorInstance* h = cluster_->GetInstance(holder);
+          audit->OnCheckpointStored(new_id, inst->vm(), holder,
+                                    h != nullptr ? h->vm() : kInvalidVm,
+                                    initial.seq);
+        }
         cluster_->backups()->Store(new_id, holder, std::move(initial));
       }
       if (--(*remaining) == 0) on_all_restored();
@@ -372,7 +383,8 @@ void ScaleOutCoordinator::ScaleIn(OperatorId op, Callbacks callbacks) {
 
     cluster_->pool()->Acquire([this, op, a_id, b_id, upstream, shared,
                                callbacks](VmId vm) {
-      auto deployed = cluster_->membership()->DeployInstance(op, vm, shared->key_range);
+      auto deployed = cluster_->membership()->DeployInstance(
+          op, vm, shared->key_range);
       SEEP_CHECK(deployed.ok());
       const InstanceId new_id = deployed.value();
       runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
@@ -386,7 +398,7 @@ void ScaleOutCoordinator::ScaleIn(OperatorId op, Callbacks callbacks) {
       for (InstanceId id : cluster_->InstancesOf(op)) {
         routes.push_back({cluster_->GetInstance(id)->key_range(), id});
       }
-      cluster_->routing()->SetRoutes(op, std::move(routes));
+      cluster_->InstallRoutes(op, std::move(routes));
 
       for (InstanceId uid : upstream) {
         runtime::OperatorInstance* u = cluster_->GetInstance(uid);

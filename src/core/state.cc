@@ -39,6 +39,7 @@ std::vector<ProcessingState::Entry>::const_iterator UpperBoundKey(
 }  // namespace
 
 ProcessingState ProcessingState::FilterByRange(const KeyRange& range) const {
+  SEEP_DCHECK_LE(range.lo, range.hi);
   EnsureSorted();
   const auto first = LowerBoundKey(entries_, range.lo);
   const auto last = UpperBoundKey(entries_, range.hi);
@@ -54,7 +55,8 @@ void ProcessingState::MergeFrom(const ProcessingState& other) {
   other.EnsureSorted();
   // Scale-in merges adjacent key ranges, so one side usually follows the
   // other entirely: a straight append keeps the result sorted.
-  if (entries_.empty() || entries_.back().first <= other.entries_.front().first) {
+  if (entries_.empty() ||
+      entries_.back().first <= other.entries_.front().first) {
     entries_.insert(entries_.end(), other.entries_.begin(),
                     other.entries_.end());
     bytes_ += other.bytes_;

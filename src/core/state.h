@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/macros.h"
 #include "common/result.h"
 #include "common/time.h"
 #include "core/key_range.h"
@@ -94,7 +95,9 @@ class InputPositions {
   /// Position for an origin, or -1 when never seen.
   int64_t Get(OriginId origin) const;
 
-  void Set(OriginId origin, int64_t timestamp) { positions_[origin] = timestamp; }
+  void Set(OriginId origin, int64_t timestamp) {
+    positions_[origin] = timestamp;
+  }
 
   const std::map<OriginId, int64_t>& positions() const { return positions_; }
 
@@ -138,6 +141,9 @@ class TupleBuffer {
   TupleBuffer& operator=(TupleBuffer&&) = default;
 
   void Append(Tuple t) {
+    // UpperBound/Trim binary-search on timestamp order; an out-of-order
+    // append would silently corrupt trims.
+    SEEP_DCHECK(tuples_.empty() || tuples_.back().timestamp <= t.timestamp);
     bytes_ += t.SerializedSize();
     tuples_.push_back(std::move(t));
   }

@@ -151,8 +151,8 @@ Result<StateCheckpoint> MergeCheckpoints(
   merged.op = checkpoints[0].op;
   merged.instance = kInvalidInstance;
   merged.origin = kInvalidOrigin;
-  merged.key_range =
-      KeyRange{checkpoints.front().key_range.lo, checkpoints.back().key_range.hi};
+  merged.key_range = KeyRange{checkpoints.front().key_range.lo,
+                              checkpoints.back().key_range.hi};
   merged.taken_at = checkpoints[0].taken_at;
   for (const StateCheckpoint& c : checkpoints) {
     merged.seq = std::max(merged.seq, c.seq);

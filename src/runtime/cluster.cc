@@ -12,8 +12,18 @@ Cluster::Cluster(const core::QueryGraph* graph, ClusterConfig config)
       pool_(&sim_, &provider_, config.pool),
       membership_(this),
       fences_(this),
-      transport_(std::make_unique<SimTransport>(this)) {}
+      transport_(std::make_unique<SimTransport>(this)) {
+  if (config_.audit_level > verify::kAuditOff) {
+    auditor_ = std::make_unique<verify::InvariantAuditor>(config_.audit_level);
+  }
+}
 
 Cluster::~Cluster() = default;
+
+void Cluster::InstallRoutes(OperatorId down_op,
+                            std::vector<core::RoutingState::Route> routes) {
+  if (auditor_) auditor_->OnRoutesInstalled(down_op, routes);
+  routing_.SetRoutes(down_op, std::move(routes));
+}
 
 }  // namespace seep::runtime

@@ -17,6 +17,7 @@
 #include "runtime/transport.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
+#include "verify/invariant_auditor.h"
 
 namespace seep::runtime {
 
@@ -65,6 +66,11 @@ struct ClusterConfig {
   bool incremental_checkpoints = false;
   uint32_t full_checkpoint_every = 12;
 
+  /// Protocol invariant auditing (src/verify/): 0 off, 1 cheap per-event
+  /// checks, 2 adds per-tuple and whole-table sweeps. Defaults to the
+  /// SEEP_AUDIT environment variable / the SEEP_AUDIT build option.
+  int audit_level = verify::DefaultAuditLevel();
+
   uint64_t seed = 42;
 };
 
@@ -108,6 +114,18 @@ class Cluster {
 
   /// Replay-fence registration and delivery.
   FenceRegistry* fences() { return &fences_; }
+
+  /// The protocol invariant auditor, or null when auditing is off. Every
+  /// component hook guards on this pointer, so audit-off deployments pay one
+  /// branch per hook site.
+  verify::InvariantAuditor* audit() { return auditor_.get(); }
+
+  /// The single choke point for routing installs: replaces `down_op`'s
+  /// routes and lets the auditor assert the new table exactly tiles the key
+  /// space (Algorithm 2). Coordinators must use this instead of writing
+  /// routing() directly.
+  void InstallRoutes(OperatorId down_op,
+                     std::vector<core::RoutingState::Route> routes);
 
   // ------------------------------------------------- read-side conveniences
   // (lookups only — these delegate to membership(); mutations don't exist
@@ -153,6 +171,7 @@ class Cluster {
   Membership membership_;
   FenceRegistry fences_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<verify::InvariantAuditor> auditor_;
 };
 
 }  // namespace seep::runtime

@@ -22,11 +22,15 @@ void FenceRegistry::Handle(uint64_t fence_id, OperatorInstance* at) {
   if (!fence.targets.contains(at->id())) {
     // Not the destination: forward downstream so fences traverse
     // intermediate operators (source-replay recovery).
+    verify::InvariantAuditor* audit = cluster_->audit();
     for (OperatorId down : cluster_->graph()->Downstream(at->op())) {
       for (InstanceId dest : cluster_->membership()->LiveInstancesOf(down)) {
         core::TupleBatch fwd;
         fwd.fence_id = fence_id;
         fwd.replay = true;
+        // The forwarded fence inherits the ordering obligation of this hop:
+        // it must trail any replayed tuples `at` already sent to `dest`.
+        if (audit) audit->OnFenceSent(fence_id, at->id(), dest);
         cluster_->transport()->SendBatch(at, dest, std::move(fwd));
       }
     }

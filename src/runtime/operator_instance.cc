@@ -27,10 +27,12 @@ OperatorInstance::OperatorInstance(Cluster* cluster, Params params)
     : cluster_(cluster),
       p_(params),
       origin_(params.origin),
-      trims_(&buffer_,
-             [cluster](OperatorId op) {
-               return cluster->membership()->InstancesOf(op);
-             }),
+      trims_(
+          &buffer_,
+          [cluster](OperatorId op) {
+            return cluster->membership()->InstancesOf(op);
+          },
+          cluster->audit(), params.id),
       router_(cluster, this, &trims_),
       checkpoints_(cluster, this),
       scheduler_(cluster->simulation(), this, params.vm_capacity) {
@@ -148,8 +150,16 @@ void OperatorInstance::FinishJob(JobScheduler::Job* job) {
   switch (job->kind) {
     case Kind::kBatch:
       if (job->batch.fence_id != 0) {
+        if (auto* audit = cluster_->audit()) {
+          audit->OnFenceProcessed(job->batch.fence_id, job->batch.from, id());
+        }
         cluster_->fences()->Handle(job->batch.fence_id, this);
         return;
+      }
+      if (auto* audit = cluster_->audit();
+          audit != nullptr && job->batch.replay) {
+        audit->OnReplayProcessed(job->batch.from, id(),
+                                 job->batch.tuples.size());
       }
       if (sink_) {
         ConsumeAtSink(&job->batch);
@@ -194,6 +204,9 @@ void OperatorInstance::ConsumeAtSink(core::TupleBatch* batch) {
     if (!positions_.Advance(t.origin, t.timestamp)) {
       ++metrics->duplicates_dropped;
       continue;
+    }
+    if (auto* audit = cluster_->audit()) {
+      audit->OnSinkDelivered(p_.op, t.origin, t.timestamp);
     }
     sink_->Consume(t, now);
     metrics->sink_tuples.Add(now, 1);
@@ -312,8 +325,10 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
     }
   }
   cluster_->metrics()->tuples_replayed += replayed;
+  verify::InvariantAuditor* audit = cluster_->audit();
   for (auto& [dest, batch] : outgoing) {
     batch.replay = true;
+    if (audit) audit->OnReplaySent(id(), dest, batch.tuples.size());
     cluster_->transport()->SendBatch(this, dest, std::move(batch));
   }
   if (fence_id != 0) {
@@ -323,6 +338,7 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
       core::TupleBatch fence;
       fence.fence_id = fence_id;
       fence.replay = true;
+      if (audit) audit->OnFenceSent(fence_id, id(), dest);
       cluster_->transport()->SendBatch(this, dest, std::move(fence));
     }
   }

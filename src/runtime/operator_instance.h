@@ -86,6 +86,7 @@ class OperatorInstance : private JobScheduler::Host {
   /// partitioning this instance's backed-up state (see CheckpointPlane).
   void SuspendCheckpoints() { checkpoints_.Suspend(); }
   void ResumeCheckpoints() { checkpoints_.Resume(); }
+  bool checkpoints_suspended() const { return checkpoints_.suspended(); }
 
   // ------------------------------------------------------------- data path
 

@@ -60,6 +60,12 @@ void SimTransport::BackupCheckpoint(OperatorInstance* owner,
         if (h == nullptr || !h->alive() || h->stopped()) return;
         OperatorInstance* o = members->GetInstance(owner_id);
         if (o == nullptr || !o->alive()) return;  // owner died meanwhile
+        // A checkpoint caught in flight when the scale-out coordinator
+        // suspended the owner must not land: the coordinator already
+        // retrieved the older backup as the restore point, and this
+        // checkpoint's trim acknowledgements would drop upstream tuples
+        // that restore point still needs replayed.
+        if (o->checkpoints_suspended()) return;
 
         // Algorithm 1 lines 3/5-7: store (or apply a delta onto the held
         // base), superseding any previous holder.
@@ -78,7 +84,23 @@ void SimTransport::BackupCheckpoint(OperatorInstance* owner,
             return;  // out-of-order delta; keep the older consistent base
           }
         } else {
+          // Background checkpoint shipments to different holders can arrive
+          // out of order; a stale one must never supersede a fresher stored
+          // checkpoint whose higher positions were already acknowledged
+          // upstream (recovery from the stale one would need trimmed tuples).
+          const BackupStore::Entry* existing =
+              cluster_->backups()->Find(owner_id);
+          if (existing != nullptr &&
+              existing->checkpoint.seq >= shared->seq) {
+            return;
+          }
           cluster_->backups()->Store(owner_id, holder_id, std::move(*shared));
+        }
+        if (auto* audit = cluster_->audit()) {
+          const BackupStore::Entry* stored =
+              cluster_->backups()->Find(owner_id);
+          audit->OnCheckpointStored(owner_id, o->vm(), holder_id, h->vm(),
+                                    stored->checkpoint.seq);
         }
         metrics->checkpoints_taken++;
         metrics->checkpoint_bytes += bytes;

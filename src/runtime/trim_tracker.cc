@@ -6,12 +6,14 @@ namespace seep::runtime {
 
 void TrimTracker::NoteSent(OperatorId down_op, InstanceId dest,
                            int64_t timestamp) {
+  if (audit_) audit_->OnNoteSent(self_, down_op, dest, timestamp);
   auto [it, inserted] = sent_[down_op].try_emplace(dest, timestamp);
   if (!inserted) it->second = std::max(it->second, timestamp);
 }
 
 void TrimTracker::OnTrimAck(OperatorId down_op, InstanceId down_instance,
                             int64_t position) {
+  if (audit_) audit_->OnTrimAck(self_, down_op, down_instance, position);
   auto& acks = acks_[down_op];
   auto [it, inserted] = acks.try_emplace(down_instance, position);
   if (!inserted) it->second = std::max(it->second, position);
@@ -36,6 +38,7 @@ void TrimTracker::PruneAcks(OperatorId down_op) {
 
 void TrimTracker::SeedAck(OperatorId down_op, InstanceId down_instance,
                           int64_t position) {
+  if (audit_) audit_->OnSeedAck(self_, down_op, down_instance, position);
   acks_[down_op][down_instance] = position;
 }
 
@@ -66,7 +69,12 @@ void TrimTracker::MaybeTrim(OperatorId down_op) {
     // Nothing outstanding anywhere: everything sent so far is covered.
     bound = max_sent;
   }
-  if (bound > INT64_MIN) buffer_->Trim(down_op, bound);
+  if (bound == INT64_MIN) return;
+  auto [trimmed, inserted] = trimmed_.try_emplace(down_op, INT64_MIN);
+  if (bound <= trimmed->second) return;  // no-op below the high-water mark
+  trimmed->second = bound;
+  if (audit_) audit_->OnTrim(self_, down_op, bound, current);
+  buffer_->Trim(down_op, bound);
 }
 
 }  // namespace seep::runtime

@@ -8,6 +8,7 @@
 
 #include "common/ids.h"
 #include "core/state.h"
+#include "verify/invariant_auditor.h"
 
 namespace seep::runtime {
 
@@ -24,8 +25,16 @@ class TrimTracker {
   /// keep constraining trims during the retirement handover window).
   using MembersFn = std::function<std::vector<InstanceId>(OperatorId)>;
 
-  TrimTracker(core::BufferState* buffer, MembersFn current_members)
-      : buffer_(buffer), current_members_(std::move(current_members)) {}
+  /// `audit` (may be null) observes every ack/sent/trim event and
+  /// independently re-derives the admissible trim bound; `self` identifies
+  /// this instance in audit reports.
+  TrimTracker(core::BufferState* buffer, MembersFn current_members,
+              verify::InvariantAuditor* audit = nullptr,
+              InstanceId self = kInvalidInstance)
+      : buffer_(buffer),
+        current_members_(std::move(current_members)),
+        audit_(audit),
+        self_(self) {}
 
   /// Records the highest timestamp sent to a downstream instance. A
   /// destination only constrains buffer trimming while it has outstanding
@@ -55,12 +64,20 @@ class TrimTracker {
  private:
   core::BufferState* buffer_;
   MembersFn current_members_;
+  verify::InvariantAuditor* audit_;
+  InstanceId self_;
   // Per downstream logical op: last checkpoint-acknowledged position of each
   // current downstream instance (this instance's origin timestamps).
   std::map<OperatorId, std::map<InstanceId, int64_t>> acks_;
   // Per downstream logical op: highest timestamp sent to each downstream
   // instance.
   std::map<OperatorId, std::map<InstanceId, int64_t>> sent_;
+  // Per downstream logical op: high-water trim position. The admissible
+  // bound can legitimately regress after a membership change (a partition
+  // with nothing outstanding stops constraining it, then a freshly seeded
+  // partition re-lowers it); re-trimming below the high-water mark is a
+  // no-op on the buffer, so such bounds are suppressed rather than emitted.
+  std::map<OperatorId, int64_t> trimmed_;
 };
 
 }  // namespace seep::runtime

@@ -1,0 +1,200 @@
+#ifndef SEEP_VERIFY_INVARIANT_AUDITOR_H_
+#define SEEP_VERIFY_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/key_range.h"
+#include "core/state.h"
+
+namespace seep::verify {
+
+/// Audit levels. Level 1 checks are per-event (trims, routing installs,
+/// checkpoint stores, fences) and cheap enough for figure benches; level 2
+/// adds per-tuple and whole-table sweeps (sink exactly-once stamp sets, full
+/// routing-table re-verification) whose memory and CPU grow with the run.
+enum AuditLevel : int {
+  kAuditOff = 0,
+  kAuditCheap = 1,
+  kAuditExpensive = 2,
+};
+
+/// The audit level a fresh ClusterConfig defaults to: the SEEP_AUDIT
+/// environment variable ("0"/"1"/"2") when set, else the compile-time
+/// default baked in by the SEEP_AUDIT CMake option (level 1), else off.
+int DefaultAuditLevel();
+
+/// One detected protocol violation. `invariant` is a stable, documented name
+/// (see DESIGN.md §7) that mutation tests and postmortems key on.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Observes the runtime through the component interfaces (TrimTracker,
+/// CheckpointPlane via Transport, EmissionRouter via the sink path,
+/// FenceRegistry, the routing installs of control/) and asserts the SEEP
+/// protocol invariants of Algorithms 1-3. The auditor keeps its own mirror
+/// of the protocol state it audits — acknowledgement and sent positions,
+/// fence send counts, stored checkpoint sequences — so a corrupted component
+/// table disagrees with the mirror and trips the check instead of silently
+/// re-deriving the corruption.
+///
+/// By default a violation prints `SEEP_AUDIT violation <name>: <detail>` and
+/// aborts; tests install a collecting handler instead. All hooks are no-ops
+/// at levels below the check's level, and call sites guard on a null auditor
+/// pointer, so an audit-off build pays one branch per hook.
+class InvariantAuditor {
+ public:
+  using Handler = std::function<void(const Violation&)>;
+
+  explicit InvariantAuditor(int level);
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  int level() const { return level_; }
+
+  /// Replaces the abort-on-violation default (tests collect instead).
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Violations seen so far (only meaningful with a non-aborting handler).
+  uint64_t violations() const { return violations_; }
+
+  // ------------------------------------------------ Algorithm 1: trimming
+
+  /// Upstream instance `at` sent a tuple with `timestamp` to `dest` of
+  /// downstream logical operator `down_op` (TrimTracker::NoteSent).
+  void OnNoteSent(InstanceId at, OperatorId down_op, InstanceId dest,
+                  int64_t timestamp);
+
+  /// Downstream instance `down_inst` acknowledged checkpoint coverage
+  /// through `position` (TrimTracker::OnTrimAck).
+  void OnTrimAck(InstanceId at, OperatorId down_op, InstanceId down_inst,
+                 int64_t position);
+
+  /// A coordinator seeded `down_inst`'s acknowledgement from a restored
+  /// checkpoint (TrimTracker::SeedAck). Unlike acks, seeds may move the
+  /// position backwards — but only for an instance id never seen before
+  /// (instance ids are not reused); re-seeding a known instance backwards
+  /// would un-cover already-trimmed tuples.
+  void OnSeedAck(InstanceId at, OperatorId down_op, InstanceId down_inst,
+                 int64_t position);
+
+  /// Instance `at` is about to trim its output buffer for `down_op` through
+  /// `up_to`, with `current` the downstream membership consulted. Asserts
+  /// trim-monotonicity (per (at, down_op) the bound never regresses) and
+  /// checkpoint-covers-trim (`up_to` does not exceed the bound the mirror
+  /// derives from acknowledged checkpoint positions; Algorithm 1 line 4).
+  void OnTrim(InstanceId at, OperatorId down_op, int64_t up_to,
+              const std::vector<InstanceId>& current);
+
+  /// A checkpoint of `owner` (hosted on `owner_vm`) seq `seq` was stored at
+  /// `holder` (hosted on `holder_vm`). Asserts backup-placement (the backup
+  /// lives on a different instance AND a different VM than the state it
+  /// protects — otherwise one VM failure loses both copies) and
+  /// checkpoint-seq-monotonicity (stored sequence numbers strictly increase
+  /// per owner, so a stale checkpoint can never supersede a fresher one).
+  void OnCheckpointStored(InstanceId owner, VmId owner_vm, InstanceId holder,
+                          VmId holder_vm, uint64_t seq);
+
+  // ----------------------------------------- Algorithm 2: partitioned state
+
+  /// Routing for `down_op` was (re)installed. Asserts route-tiling: the
+  /// routes exactly tile the full key space — sorted by range, no gap, no
+  /// overlap, first lo == 0, last hi == UINT64_MAX — so every key routes to
+  /// exactly one partition. At level 2 the whole remembered table is swept,
+  /// not just the changed operator.
+  void OnRoutesInstalled(OperatorId down_op,
+                         const std::vector<core::RoutingState::Route>& routes);
+
+  /// A checkpoint was partitioned into `parts` (Algorithm 2). Asserts
+  /// partition-completeness: the partition ranges exactly tile the base
+  /// range, every processing-state entry lands in exactly the partition
+  /// whose range contains its key (none lost, none duplicated), and the
+  /// buffered tuples are conserved across the split.
+  void OnPartitioned(const core::StateCheckpoint& base,
+                     const std::vector<core::StateCheckpoint>& parts);
+
+  // ------------------------------------------- Algorithm 3: replay + fences
+
+  /// Instance `from` replayed `tuples` buffered tuples to `to`
+  /// (OperatorInstance::ReplayBuffer, before the fence is sent).
+  void OnReplaySent(InstanceId from, InstanceId to, uint64_t tuples);
+
+  /// Instance `from` sent fence `fence_id` to `to` on the same FIFO link as
+  /// the replay batches. Snapshots the cumulative replay-sent count of the
+  /// link; the fence "carries" that expectation.
+  void OnFenceSent(uint64_t fence_id, InstanceId from, InstanceId to);
+
+  /// A replay batch of `tuples` tuples from `from` was processed at `to`.
+  void OnReplayProcessed(InstanceId from, InstanceId to, uint64_t tuples);
+
+  /// Fence `fence_id` from `from` was processed at `to`. Asserts
+  /// fence-before-replay: every replay tuple sent on the (from, to) link
+  /// before the fence must have been processed at `to` already — a fence
+  /// overtaking replayed tuples would complete recovery before the replay
+  /// drained (Algorithm 3's drain proof would be a lie).
+  void OnFenceProcessed(uint64_t fence_id, InstanceId from, InstanceId to);
+
+  // ----------------------------------------------- recovery: exactly-once
+
+  /// A tuple stamped (origin, timestamp) survived duplicate filtering at a
+  /// sink instance of logical operator `sink_op`. Level 2 only: asserts
+  /// sink-exactly-once — no stamp is delivered twice across the whole
+  /// lifetime of the sink operator, including across instance replacement
+  /// and parallel recovery (the end-to-end guarantee of §3.2 recovery).
+  void OnSinkDelivered(OperatorId sink_op, core::OriginId origin,
+                       int64_t timestamp);
+
+ private:
+  void Fail(const std::string& invariant, std::string detail);
+
+  /// Recomputes the admissible trim bound for (at, down_op) from the
+  /// mirrored ack/sent tables — the same formula as TrimTracker::MaybeTrim,
+  /// over independently accumulated inputs.
+  int64_t AllowedTrimBound(InstanceId at, OperatorId down_op,
+                           const std::vector<InstanceId>& current) const;
+
+  void CheckTiling(OperatorId down_op,
+                   const std::vector<core::RoutingState::Route>& routes);
+
+  int level_;
+  Handler handler_;
+  uint64_t violations_ = 0;
+
+  using PeerKey = std::pair<InstanceId, OperatorId>;   // (at, down_op)
+  using LinkKey = std::pair<InstanceId, InstanceId>;   // (from, to)
+
+  // Algorithm 1 mirrors.
+  std::map<PeerKey, std::map<InstanceId, int64_t>> acks_;
+  std::map<PeerKey, std::map<InstanceId, int64_t>> sent_;
+  std::map<PeerKey, int64_t> last_trim_;
+  std::map<InstanceId, uint64_t> last_stored_seq_;
+
+  // Algorithm 2 mirror (for the level-2 whole-table sweep).
+  std::map<OperatorId, std::vector<core::RoutingState::Route>> routes_;
+
+  // Algorithm 3 mirrors.
+  std::map<LinkKey, uint64_t> replay_sent_;
+  std::map<LinkKey, uint64_t> replay_processed_;
+  struct FenceSnapshot {
+    uint64_t replay_sent_at_fence = 0;
+  };
+  std::map<std::pair<uint64_t, LinkKey>, FenceSnapshot> fence_snapshots_;
+
+  // Exactly-once stamp sets, per (sink_op, origin). Level 2 only.
+  std::map<std::pair<OperatorId, core::OriginId>, std::unordered_set<int64_t>>
+      sink_stamps_;
+};
+
+}  // namespace seep::verify
+
+#endif  // SEEP_VERIFY_INVARIANT_AUDITOR_H_

@@ -1,0 +1,2 @@
+// Fixture: a coordinator reaching sim::Network without the Transport seam.
+#include "sim/network.h"

@@ -1,0 +1,2 @@
+// Fixture: core including a runtime header is an upward dependency.
+#include "runtime/cluster.h"

@@ -1,0 +1,2 @@
+// Fixture: a runtime component header depending on the cluster wiring.
+#include "runtime/cluster.h"

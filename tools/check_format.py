@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Repo-wide formatting hygiene check (blocking in CI).
+
+The container CI runners do not ship clang-format, so the enforceable
+subset of .clang-format is checked here directly, line by line:
+
+  * line length <= 80 columns (counted in characters, not bytes — the
+    docs and comments use Unicode math symbols from the paper)
+  * no tab characters in source files
+  * no trailing whitespace
+  * every file ends with exactly one newline
+
+Covers src/, tests/, bench/ (.h/.cc) and tools/ (.py). When a developer
+machine has clang-format available, `clang-format -n` against the
+checked-in .clang-format remains the richer local check; this script is
+the floor that CI can always enforce.
+"""
+
+import sys
+from pathlib import Path
+
+MAX_COLS = 80
+
+
+def check_file(path):
+    problems = []
+    text = path.read_text(errors="replace")
+    if text and not text.endswith("\n"):
+        problems.append((len(text.splitlines()), "missing newline at EOF"))
+    if text.endswith("\n\n"):
+        problems.append((len(text.splitlines()), "multiple newlines at EOF"))
+    for number, line in enumerate(text.splitlines(), start=1):
+        if len(line) > MAX_COLS:
+            problems.append((number, f"line is {len(line)} columns"))
+        if "\t" in line:
+            problems.append((number, "tab character"))
+        if line != line.rstrip():
+            problems.append((number, "trailing whitespace"))
+        if line.endswith("\r"):
+            problems.append((number, "CRLF line ending"))
+    return problems
+
+
+def main():
+    repo_root = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    targets = []
+    for directory, suffixes in (("src", (".h", ".cc")),
+                                ("tests", (".h", ".cc")),
+                                ("bench", (".h", ".cc")),
+                                ("tools", (".py",))):
+        base = repo_root / directory
+        if base.is_dir():
+            targets += [p for p in sorted(base.rglob("*"))
+                        if p.suffix in suffixes]
+    count = 0
+    for path in targets:
+        for number, what in check_file(path):
+            print(f"{path}:{number}: {what}")
+            count += 1
+    if count:
+        print(f"check_format: {count} problem(s) in {len(targets)} files",
+              file=sys.stderr)
+        return 1
+    print(f"check_format: {len(targets)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

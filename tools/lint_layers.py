@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Static architecture lint: checks the include graph against the layer map.
+
+The repo is layered (see DESIGN.md): each directory under src/ may only
+include headers from itself and from the layers listed in LAYER_DEPS. On
+top of the layer map, three seam rules protect the component interfaces
+introduced by the runtime decomposition:
+
+  * control-no-raw-network: src/control/ must not include sim/network.h.
+    Coordinators act on the cluster through the Transport interface; a
+    coordinator talking to the simulated network directly bypasses the
+    seam the fault-injection and audit hooks rely on.
+  * component-no-cluster-header: runtime component *headers* (everything
+    in src/runtime/ except cluster.h itself) must not include
+    runtime/cluster.h. Components are wired by Cluster, they do not know
+    it; headers forward-declare Cluster and only .cc files include it.
+  * no-upward-dependency: a layer including a header from a higher layer
+    (e.g. core including runtime/) — the generic layer-map check.
+
+Exit status: 0 when clean, 1 on any violation (CI fails), 2 on usage
+errors. `--self-test` runs the lint against tests/lint_fixtures/, a tiny
+fake tree that contains one violation of each rule, and verifies each is
+reported.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Allowed include targets per src/ directory (besides itself). Mirrors the
+# target_link_libraries graph in src/*/CMakeLists.txt; keep the two in sync.
+LAYER_DEPS = {
+    "common": set(),
+    "serde": {"common"},
+    "sim": {"common"},
+    "cloud": {"common", "sim"},
+    "core": {"common", "serde"},
+    "verify": {"common", "serde", "core"},
+    "workloads": {"common", "serde", "core"},
+    "runtime": {"common", "serde", "sim", "cloud", "core", "verify"},
+    "control": {"common", "serde", "sim", "cloud", "core", "verify",
+                "runtime"},
+    "sps": {"common", "serde", "sim", "cloud", "core", "verify", "runtime",
+            "control", "workloads"},
+}
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+
+
+def quoted_includes(path):
+    """Yields (line_number, include_path) for every quoted include."""
+    for number, line in enumerate(
+            path.read_text(errors="replace").splitlines(), start=1):
+        match = INCLUDE_RE.match(line)
+        if match:
+            yield number, match.group(1)
+
+
+def lint_tree(src_root):
+    """Returns a list of (rule, "file:line", detail) violations."""
+    violations = []
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(src_root)
+        layer = rel.parts[0]
+        allowed = LAYER_DEPS.get(layer)
+        if allowed is None:
+            continue  # not a mapped layer (e.g. a stray file at src/)
+        for number, inc in quoted_includes(path):
+            target = inc.split("/", 1)[0] if "/" in inc else None
+            where = f"{src_root}/{rel}:{number}"
+            if target in LAYER_DEPS and target != layer \
+                    and target not in allowed:
+                violations.append((
+                    "no-upward-dependency", where,
+                    f"layer '{layer}' must not include '{inc}' "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'none'})"))
+            if layer == "control" and inc == "sim/network.h":
+                violations.append((
+                    "control-no-raw-network", where,
+                    "coordinators must reach the network through the "
+                    "Transport interface, never sim::Network directly"))
+            if layer == "runtime" and path.suffix == ".h" \
+                    and rel.name != "cluster.h" \
+                    and inc == "runtime/cluster.h":
+                violations.append((
+                    "component-no-cluster-header", where,
+                    "runtime component headers forward-declare Cluster; "
+                    "only their .cc files may include runtime/cluster.h"))
+    return violations
+
+
+def self_test(repo_root):
+    """Lints tests/lint_fixtures/ and checks every rule fires there."""
+    fixtures = repo_root / "tests" / "lint_fixtures"
+    if not fixtures.is_dir():
+        print(f"lint_layers: fixture tree missing: {fixtures}",
+              file=sys.stderr)
+        return 1
+    found = {rule for rule, _, _ in lint_tree(fixtures)}
+    expected = {"no-upward-dependency", "control-no-raw-network",
+                "component-no-cluster-header"}
+    missing = expected - found
+    if missing:
+        print("lint_layers self-test FAILED; rules that did not fire on "
+              f"the fixture violations: {', '.join(sorted(missing))}",
+              file=sys.stderr)
+        return 1
+    print(f"lint_layers self-test OK ({len(expected)} rules fire on the "
+          "fixture tree)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule fires on tests/lint_fixtures")
+    args = parser.parse_args()
+
+    repo_root = Path(args.root) if args.root \
+        else Path(__file__).resolve().parent.parent
+    if args.self_test:
+        return self_test(repo_root)
+
+    src_root = repo_root / "src"
+    if not src_root.is_dir():
+        print(f"lint_layers: no src/ under {repo_root}", file=sys.stderr)
+        return 2
+    violations = lint_tree(src_root)
+    for rule, where, detail in violations:
+        print(f"{where}: [{rule}] {detail}")
+    if violations:
+        print(f"lint_layers: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_layers: include graph clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
