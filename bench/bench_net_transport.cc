@@ -1,0 +1,276 @@
+// Benchmarks for the networking subsystem: raw loopback shipping through
+// net::LocalCluster (throughput and round-trip latency across tuple-batch
+// sizes), then the Transport seam end to end — the windowed word-count
+// workload on the TCP backend versus the simulated one, same sim horizon,
+// wall-clock compared. Results go to stdout and BENCH_net_transport.json.
+//
+// Usage: bench_net_transport [output.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/tuple.h"
+#include "net/local_cluster.h"
+#include "net/wire.h"
+#include "runtime/tcp_transport.h"
+#include "serde/encoder.h"
+#include "sps/sps.h"
+#include "workloads/wordcount/wordcount.h"
+
+namespace seep::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// An encoded `batch_tuples`-tuple batch with word-count-shaped payloads,
+/// wrapped in a wire envelope from VM 1 to VM 2.
+net::Message MakeBatchMessage(size_t batch_tuples, uint64_t seed) {
+  Rng rng(seed);
+  core::TupleBatch batch;
+  batch.from = 1;
+  batch.tuples.reserve(batch_tuples);
+  for (size_t i = 0; i < batch_tuples; ++i) {
+    core::Tuple t;
+    t.timestamp = static_cast<int64_t>(i);
+    t.key = rng.Next();
+    t.origin = 1;
+    t.event_time = static_cast<SimTime>(i);
+    t.text = std::string(4 + rng.NextBounded(8),
+                         static_cast<char>('a' + rng.NextBounded(26)));
+    batch.tuples.push_back(std::move(t));
+  }
+  serde::Encoder enc;
+  batch.Encode(&enc);
+  net::Message msg;
+  msg.type = net::MessageType::kBatch;
+  msg.from_vm = 1;
+  msg.to_vm = 2;
+  msg.body = enc.buffer();
+  return msg;
+}
+
+struct LoopbackRow {
+  size_t batch_tuples;
+  size_t msg_bytes;
+  double throughput_msgs_s;
+  double throughput_mb_s;
+  double rtt_p50_us;
+  double rtt_p99_us;
+};
+
+/// One-way flood VM 1 -> VM 2, then one-at-a-time ping-pong for latency.
+LoopbackRow BenchLoopback(size_t batch_tuples) {
+  const net::Message msg =
+      MakeBatchMessage(batch_tuples, 0xF00D + batch_tuples);
+  // Enough messages to amortise connect/warm-up, capped so the largest
+  // batches still finish quickly.
+  const size_t total = std::max<size_t>(500, 65536 / std::max<size_t>(
+                                                 1, batch_tuples / 8));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t received = 0;
+  bool echoed = false;
+
+  net::LocalCluster cluster;
+  SEEP_CHECK(cluster
+                 .StartWorker(1,
+                              [&](net::Message) {
+                                std::lock_guard<std::mutex> lock(mu);
+                                echoed = true;
+                                cv.notify_all();
+                              })
+                 .ok());
+  SEEP_CHECK(cluster
+                 .StartWorker(2,
+                              [&](net::Message) {
+                                std::lock_guard<std::mutex> lock(mu);
+                                ++received;
+                                cv.notify_all();
+                              })
+                 .ok());
+
+  // Warm-up: establishes the 1->2 connection (connect + hello + first frame).
+  SEEP_CHECK(cluster.Post(1, 2, msg) != net::SendStatus::kClosed);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    SEEP_CHECK(cv.wait_for(lock, std::chrono::seconds(10),
+                           [&] { return received >= 1; }));
+  }
+
+  // Throughput: flood, retrying briefly when the hard cap rejects a frame.
+  const auto start = Clock::now();
+  for (size_t i = 0; i < total; ++i) {
+    while (cluster.Post(1, 2, msg) == net::SendStatus::kOverflow) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    SEEP_CHECK(cv.wait_for(lock, std::chrono::seconds(60),
+                           [&] { return received >= total + 1; }));
+  }
+  const double flood_us = ElapsedUs(start);
+
+  // Latency: single outstanding round trip, receiver echoes on its worker
+  // thread. 2->1 uses its own connection, warmed by the first (discarded)
+  // rounds.
+  cluster.KillWorker(2);
+  SEEP_CHECK(cluster
+                 .StartWorker(2,
+                              [&](net::Message m) {
+                                m.from_vm = 2;
+                                m.to_vm = 1;
+                                cluster.Post(2, 1, m);
+                              })
+                 .ok());
+  std::vector<double> rtts;
+  constexpr int kWarmup = 50, kRounds = 500;
+  for (int i = 0; i < kWarmup + kRounds; ++i) {
+    const auto ping = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      echoed = false;
+    }
+    SEEP_CHECK(cluster.Post(1, 2, msg) != net::SendStatus::kClosed);
+    std::unique_lock<std::mutex> lock(mu);
+    SEEP_CHECK(
+        cv.wait_for(lock, std::chrono::seconds(10), [&] { return echoed; }));
+    if (i >= kWarmup) rtts.push_back(ElapsedUs(ping));
+  }
+  std::sort(rtts.begin(), rtts.end());
+
+  const size_t frame_bytes = net::EncodeMessage(msg).size();
+  LoopbackRow row;
+  row.batch_tuples = batch_tuples;
+  row.msg_bytes = frame_bytes;
+  row.throughput_msgs_s = total / (flood_us / 1e6);
+  row.throughput_mb_s =
+      (double(total) * double(frame_bytes)) / (1 << 20) / (flood_us / 1e6);
+  row.rtt_p50_us = rtts[rtts.size() / 2];
+  row.rtt_p99_us = rtts[(rtts.size() * 99) / 100];
+  return row;
+}
+
+struct WorkloadRow {
+  const char* backend;
+  double wall_ms;
+  uint64_t tcp_messages;
+};
+
+/// Wall-clock for 60 simulated seconds of word count on one backend.
+WorkloadRow BenchWorkload(runtime::TransportKind kind, const char* label) {
+  double best_ms = 1e18;
+  uint64_t tcp_messages = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    workloads::wordcount::WordCountConfig wc;
+    wc.rate_tuples_per_sec = 100;
+    wc.vocabulary = 200;
+    wc.window = SecondsToSim(10);
+    wc.seed = 17;
+    auto query = workloads::wordcount::BuildWordCountQuery(wc);
+    sps::SpsConfig config;
+    config.cluster.transport = kind;
+    config.cluster.checkpoint_interval = SecondsToSim(5);
+    config.cluster.pool.target_size = 3;
+    config.scaling.enabled = false;
+    sps::Sps sps(std::move(query.graph), config);
+    SEEP_CHECK(sps.Deploy().ok());
+    const auto start = Clock::now();
+    sps.RunFor(60);
+    best_ms = std::min(best_ms, ElapsedUs(start) / 1e3);
+    if (auto* tcp = dynamic_cast<runtime::TcpTransport*>(
+            sps.cluster().transport())) {
+      tcp_messages = tcp->messages_delivered();
+    }
+  }
+  return WorkloadRow{label, best_ms, tcp_messages};
+}
+
+// ------------------------------------------------------------------- report
+
+void WriteJson(FILE* f, const std::vector<LoopbackRow>& loopback,
+               const std::vector<WorkloadRow>& workload) {
+  std::fprintf(f, "{\n  \"bench\": \"net_transport\",\n  \"loopback\": [\n");
+  for (size_t i = 0; i < loopback.size(); ++i) {
+    const LoopbackRow& r = loopback[i];
+    std::fprintf(f,
+                 "    {\"batch_tuples\": %zu, \"msg_bytes\": %zu, "
+                 "\"throughput_msgs_s\": %.0f, \"throughput_mb_s\": %.1f, "
+                 "\"rtt_p50_us\": %.1f, \"rtt_p99_us\": %.1f}%s\n",
+                 r.batch_tuples, r.msg_bytes, r.throughput_msgs_s,
+                 r.throughput_mb_s, r.rtt_p50_us, r.rtt_p99_us,
+                 i + 1 < loopback.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"workload\": [\n");
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const WorkloadRow& r = workload[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"wall_ms\": %.1f, "
+                 "\"tcp_messages\": %llu}%s\n",
+                 r.backend, r.wall_ms,
+                 static_cast<unsigned long long>(r.tcp_messages),
+                 i + 1 < workload.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_net_transport.json";
+  FILE* f = std::fopen(out, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out);
+    return 1;
+  }
+
+  std::printf("==== Loopback TCP shipping (net::LocalCluster) ====\n");
+  std::printf("%12s %10s %12s %10s %10s %10s\n", "batch_tuples", "msg_bytes",
+              "msgs/s", "MB/s", "p50(us)", "p99(us)");
+  std::vector<LoopbackRow> loopback;
+  for (size_t batch : {8u, 64u, 512u, 2048u}) {
+    const LoopbackRow row = BenchLoopback(batch);
+    std::printf("%12zu %10zu %12.0f %10.1f %10.1f %10.1f\n", row.batch_tuples,
+                row.msg_bytes, row.throughput_msgs_s, row.throughput_mb_s,
+                row.rtt_p50_us, row.rtt_p99_us);
+    std::fflush(stdout);
+    loopback.push_back(row);
+  }
+
+  std::printf("\n==== Word count, 60 sim-seconds: sim vs TCP backend ====\n");
+  std::vector<WorkloadRow> workload;
+  workload.push_back(BenchWorkload(runtime::TransportKind::kSim, "sim"));
+  workload.push_back(BenchWorkload(runtime::TransportKind::kTcp, "tcp"));
+  for (const WorkloadRow& r : workload) {
+    std::printf("%-4s backend: %8.1f ms wall", r.backend, r.wall_ms);
+    if (r.tcp_messages > 0) {
+      std::printf("  (%llu messages over loopback TCP)",
+                  static_cast<unsigned long long>(r.tcp_messages));
+    }
+    std::printf("\n");
+  }
+
+  WriteJson(f, loopback, workload);
+  std::fclose(f);
+  std::printf("wrote %s\n", out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace seep::bench
+
+int main(int argc, char** argv) { return seep::bench::Main(argc, argv); }

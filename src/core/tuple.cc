@@ -50,6 +50,37 @@ size_t Tuple::SerializedSize() const {
   return n + 1;  // + latency_sample flag
 }
 
+void TupleBatch::Encode(serde::Encoder* enc) const {
+  enc->AppendFixed32(from);
+  enc->AppendU8(replay ? 1 : 0);
+  enc->AppendVarint64(fence_id);
+  enc->AppendVarint64(tuples.size());
+  for (const Tuple& t : tuples) t.Encode(enc);
+}
+
+Result<TupleBatch> TupleBatch::Decode(serde::Decoder* dec) {
+  TupleBatch batch;
+  SEEP_ASSIGN_OR_RETURN(batch.from, dec->ReadFixed32());
+  uint8_t replay;
+  SEEP_ASSIGN_OR_RETURN(replay, dec->ReadU8());
+  batch.replay = replay != 0;
+  SEEP_ASSIGN_OR_RETURN(batch.fence_id, dec->ReadVarint64());
+  uint64_t count;
+  SEEP_ASSIGN_OR_RETURN(count, dec->ReadVarint64());
+  // A tuple encodes to >= 19 bytes; a declared count beyond what the buffer
+  // could possibly hold is corruption, caught before reserving memory.
+  if (count > dec->remaining() / 19 + 1) {
+    return Status::Corruption("batch tuple count exceeds buffer");
+  }
+  batch.tuples.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Tuple t;
+    SEEP_ASSIGN_OR_RETURN(t, Tuple::Decode(dec));
+    batch.tuples.push_back(std::move(t));
+  }
+  return batch;
+}
+
 size_t TupleBatch::SerializedSize() const {
   size_t n = 16;  // header: sender + count
   for (const Tuple& t : tuples) n += t.SerializedSize();

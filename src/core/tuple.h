@@ -70,6 +70,13 @@ struct TupleBatch {
   /// source-replay fence travel through intermediate operators.
   uint64_t fence_id = 0;
 
+  /// Wire codec for batches crossing a real transport (the simulated network
+  /// only models sizes and never encodes). Encodes sender, flags and every
+  /// tuple; Decode rejects truncated or corrupt input as Status rather than
+  /// crashing, since batch frames arrive from the network.
+  void Encode(serde::Encoder* enc) const;
+  static Result<TupleBatch> Decode(serde::Decoder* dec);
+
   size_t SerializedSize() const;
 };
 

@@ -1,0 +1,105 @@
+#ifndef SEEP_NET_CONNECTION_H_
+#define SEEP_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace seep::net {
+
+/// Outcome of queueing a frame on a connection. kPressured means the frame
+/// was accepted but the outbound queue has crossed its soft watermark — the
+/// sender should ease off; kOverflow means the hard cap was hit and the
+/// frame was dropped (the peer recovers the data through replay, exactly as
+/// it would after a crash).
+enum class SendStatus : uint8_t {
+  kOk = 0,
+  kPressured = 1,
+  kOverflow = 2,
+  kClosed = 3,
+};
+
+/// Soft/hard bounds on a connection's outbound byte queue.
+struct QueueLimits {
+  size_t pressure_bytes = 4 << 20;  // report kPressured above this
+  size_t max_bytes = 64 << 20;      // drop frames above this
+};
+
+/// One non-blocking TCP stream, owned by and confined to an EventLoop
+/// thread. Handles connect completion, a bounded outbound write queue,
+/// incremental frame reassembly on the inbound side, and error/EOF
+/// detection. Reconnect policy lives in Worker; a Connection dies once and
+/// reports it.
+class Connection {
+ public:
+  using FrameCallback =
+      std::function<void(Connection*, std::vector<uint8_t> payload)>;
+  using CloseCallback = std::function<void(Connection*)>;
+
+  /// Takes ownership of `fd`, which is either connecting (client side) or
+  /// already established (accepted side). Registers with `loop`; must be
+  /// called on the loop thread, as must every other method.
+  Connection(EventLoop* loop, ScopedFd fd, bool connecting,
+             QueueLimits limits, uint64_t max_frame_payload);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_on_frame(FrameCallback cb) { on_frame_ = std::move(cb); }
+  /// Fires exactly once, after the fd is deregistered. The callback may
+  /// delete this Connection.
+  void set_on_close(CloseCallback cb) { on_close_ = std::move(cb); }
+
+  /// Queues an already-framed message for writing. Frames queued while still
+  /// connecting flush in order once the connect completes.
+  SendStatus Send(std::vector<uint8_t> frame);
+
+  /// Deregisters from the loop and closes the socket. Pending outbound
+  /// frames are dropped (a closing link makes no delivery promises — the
+  /// recovery protocol does). Fires on_close unless it already fired.
+  void Close();
+
+  bool connected() const { return state_ == State::kConnected; }
+  bool closed() const { return state_ == State::kClosed; }
+  /// Whether the connect ever completed (distinguishes an established link
+  /// that died from one that never came up, for backoff policy).
+  bool ever_connected() const { return ever_connected_; }
+  size_t queued_bytes() const { return queued_bytes_; }
+  size_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  enum class State : uint8_t { kConnecting, kConnected, kClosed };
+
+  void OnEvents(uint32_t events);
+  void HandleConnectComplete();
+  void HandleReadable();
+  void FlushWrites();
+  void UpdateInterest();
+
+  EventLoop* loop_;
+  ScopedFd fd_;
+  State state_;
+  QueueLimits limits_;
+
+  FrameReader reader_;
+  FrameCallback on_frame_;
+  CloseCallback on_close_;
+
+  std::deque<std::vector<uint8_t>> write_queue_;
+  size_t write_offset_ = 0;  // bytes of write_queue_.front() already sent
+  size_t queued_bytes_ = 0;
+  size_t frames_dropped_ = 0;
+  bool want_write_ = false;
+  bool ever_connected_ = false;
+};
+
+}  // namespace seep::net
+
+#endif  // SEEP_NET_CONNECTION_H_

@@ -1,0 +1,44 @@
+#ifndef SEEP_NET_ENDPOINT_H_
+#define SEEP_NET_ENDPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+
+namespace seep::net {
+
+/// Maps VmId to the loopback TCP port its worker listens on. Workers consult
+/// the registry lazily on every (re)connect attempt, so a worker can start
+/// before its peers have registered — the connect fails, backoff retries,
+/// and the link comes up once the peer appears. Thread-safe: worker threads
+/// read it while the harness thread registers/unregisters.
+class EndpointRegistry {
+ public:
+  void Register(VmId vm, uint16_t port) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ports_[vm] = port;
+  }
+
+  void Unregister(VmId vm) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ports_.erase(vm);
+  }
+
+  std::optional<uint16_t> Lookup(VmId vm) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ports_.find(vm);
+    if (it == ports_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<VmId, uint16_t> ports_;
+};
+
+}  // namespace seep::net
+
+#endif  // SEEP_NET_ENDPOINT_H_

@@ -1,0 +1,110 @@
+#ifndef SEEP_NET_EVENT_LOOP_H_
+#define SEEP_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace seep::net {
+
+/// Handle for a scheduled timer, usable with EventLoop::CancelTimer.
+/// Value 0 is never issued.
+using TimerId = uint64_t;
+
+/// An epoll-based reactor, run by exactly one thread (the worker thread that
+/// calls Run). Everything registered with the loop — fd callbacks, timers,
+/// posted tasks — executes on that thread, which is what lets Connection and
+/// Worker keep all their state unlocked: the loop thread is a single-writer
+/// domain, and other threads talk to it only through Post (task queue +
+/// eventfd wakeup).
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t epoll_events)>;
+  using Task = std::function<void()>;
+  using Clock = std::chrono::steady_clock;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Runs the loop until Stop: waits on epoll, dispatches fd events, fires
+  /// due timers, drains posted tasks. Call from the owning thread only.
+  void Run();
+
+  /// Makes Run return after the current iteration. Safe from any thread and
+  /// from inside loop callbacks.
+  void Stop();
+
+  /// Registers `fd` for the epoll events in `mask` (EPOLLIN/EPOLLOUT/...),
+  /// dispatching to `cb` on the loop thread. Loop thread only.
+  void AddFd(int fd, uint32_t mask, FdCallback cb);
+
+  /// Changes the interest mask of a registered fd. Loop thread only.
+  void UpdateFd(int fd, uint32_t mask);
+
+  /// Unregisters `fd`; no further callbacks fire for it. Loop thread only.
+  void RemoveFd(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop. Safe from
+  /// any thread — this is the only cross-thread entry point. Tasks posted
+  /// after Stop may never run.
+  void Post(Task task);
+
+  /// Schedules `task` on the loop thread after `delay` (reconnect backoff
+  /// and the like). Loop thread only; cancel with CancelTimer.
+  TimerId AddTimer(std::chrono::milliseconds delay, Task task);
+
+  /// Cancels a pending timer; cancelling a fired/unknown id is a no-op.
+  void CancelTimer(TimerId id);
+
+  /// Whether the caller is the thread currently inside Run (callbacks may
+  /// assert this).
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Timer {
+    Clock::time_point deadline;
+    TimerId id;
+    mutable Task task;  // moved out when the timer fires
+    bool operator>(const Timer& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return id > other.id;
+    }
+  };
+
+  void Wakeup();
+  void DrainWakeup();
+  int NextTimeoutMillis() const;
+  void FireDueTimers();
+
+  ScopedFd epoll_fd_;
+  ScopedFd wakeup_fd_;  // eventfd: cross-thread Post and Stop wake the loop
+  std::atomic<bool> stop_{false};
+  std::thread::id loop_thread_;
+
+  std::unordered_map<int, FdCallback> fd_callbacks_;
+
+  std::mutex tasks_mu_;
+  std::vector<Task> tasks_;
+
+  TimerId next_timer_id_ = 0;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_set<TimerId> cancelled_timers_;
+};
+
+}  // namespace seep::net
+
+#endif  // SEEP_NET_EVENT_LOOP_H_

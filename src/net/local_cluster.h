@@ -1,0 +1,71 @@
+#ifndef SEEP_NET_LOCAL_CLUSTER_H_
+#define SEEP_NET_LOCAL_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/endpoint.h"
+#include "net/worker.h"
+
+namespace seep::net {
+
+/// A cluster of VM workers on 127.0.0.1 ephemeral ports: the harness the TCP
+/// transport (and the net tests/benches) run against. Owns the endpoint
+/// registry and one Worker per attached VM. All methods are safe from the
+/// harness thread; worker callbacks run on the worker threads.
+class LocalCluster {
+ public:
+  explicit LocalCluster(WorkerOptions options = {}) : options_(options) {}
+  ~LocalCluster() { Shutdown(); }
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  /// Creates and starts a worker for `vm`. Callbacks are installed before
+  /// the worker starts, so no delivery can be missed.
+  Status StartWorker(VmId vm, Worker::MessageCallback on_message,
+                     Worker::PeerCallback on_peer_disconnect = nullptr,
+                     Worker::DropCallback on_frames_dropped = nullptr);
+
+  /// Hard-kills `vm`'s worker: sockets close mid-stream, peers observe a
+  /// dead TCP peer. No-op for an unknown VM.
+  void KillWorker(VmId vm);
+
+  /// Sends `msg` from `from`'s worker to `to`. Returns kClosed if `from` has
+  /// no live worker.
+  SendStatus Post(VmId from, VmId to, const Message& msg);
+
+  /// Whether `vm` currently has a live worker.
+  bool IsAttached(VmId vm) const;
+
+  /// Aggregate counters across live workers (killed workers' counts are
+  /// frozen into the totals at kill time).
+  struct Stats {
+    uint64_t messages_delivered = 0;
+    uint64_t frames_dropped = 0;
+    uint64_t peer_disconnects = 0;
+  };
+  Stats TotalStats() const;
+
+  /// Kills every worker.
+  void Shutdown();
+
+  EndpointRegistry* registry() { return &registry_; }
+
+ private:
+  void Accumulate(const Worker& worker) const;
+
+  const WorkerOptions options_;
+  EndpointRegistry registry_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<VmId, std::unique_ptr<Worker>> workers_;
+  mutable Stats frozen_;  // counters of workers killed so far
+};
+
+}  // namespace seep::net
+
+#endif  // SEEP_NET_LOCAL_CLUSTER_H_

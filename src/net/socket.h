@@ -1,0 +1,64 @@
+#ifndef SEEP_NET_SOCKET_H_
+#define SEEP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+
+namespace seep::net {
+
+/// Owning wrapper for a file descriptor: closes on destruction, moves by
+/// stealing. Everything in net/ that holds a kernel object holds it through
+/// this, so an early return can never leak an fd.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A 127.0.0.1 TCP listener bound to `port` (0 = kernel-assigned ephemeral
+/// port), non-blocking, listening. The worker harness binds every endpoint
+/// to loopback so tests and benches exercise the real stack without any
+/// external reachability.
+Result<ScopedFd> ListenLoopback(uint16_t port);
+
+/// The local port a bound socket ended up on (after port-0 bind).
+Result<uint16_t> LocalPort(int fd);
+
+/// Starts a non-blocking connect to 127.0.0.1:`port`. The returned socket is
+/// usually still connecting: the caller waits for writability and checks
+/// SO_ERROR (Connection does both).
+Result<ScopedFd> ConnectLoopback(uint16_t port);
+
+/// Accepts one pending connection as a non-blocking socket. Returns an fd of
+/// -1 (not an error) when the accept queue is empty.
+Result<ScopedFd> AcceptConnection(int listen_fd);
+
+/// Pending SO_ERROR on a socket (0 = none); consumes the error.
+int SocketError(int fd);
+
+}  // namespace seep::net
+
+#endif  // SEEP_NET_SOCKET_H_

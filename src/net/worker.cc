@@ -1,0 +1,242 @@
+#include "net/worker.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace seep::net {
+
+Worker::Worker(VmId vm, EndpointRegistry* registry, WorkerOptions options)
+    : vm_(vm), registry_(registry), options_(options) {}
+
+Worker::~Worker() { Kill(); }
+
+Status Worker::Start() {
+  SEEP_ASSIGN_OR_RETURN(listener_, ListenLoopback(0));
+  SEEP_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+  registry_->Register(vm_, port_);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] {
+    loop_.AddFd(listener_.get(), EPOLLIN,
+                [this](uint32_t) { OnListenerReadable(); });
+    loop_.Run();
+  });
+  return Status::OK();
+}
+
+void Worker::Kill() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unregister first so peers' reconnect attempts stop finding us, then
+  // stop the loop. After the join no thread touches loop state, so tearing
+  // the connections down from this thread is safe; detaching their close
+  // callbacks keeps teardown from firing disconnect notifications for a
+  // death we initiated ourselves.
+  registry_->Unregister(vm_);
+  loop_.Stop();
+  if (thread_.joinable()) thread_.join();
+  for (auto& [to, link] : links_) {
+    if (link.conn) link.conn->set_on_close(nullptr);
+  }
+  for (auto& in : inbound_) {
+    if (in->conn) in->conn->set_on_close(nullptr);
+  }
+  links_.clear();
+  inbound_.clear();
+  graveyard_.clear();
+  listener_.Reset();
+}
+
+SendStatus Worker::Post(VmId to, const Message& msg) {
+  if (!running_.load(std::memory_order_acquire)) return SendStatus::kClosed;
+  std::vector<uint8_t> frame = EncodeMessage(msg);
+  const size_t frame_bytes = frame.size();
+  const size_t backlog =
+      posted_bytes_.fetch_add(frame_bytes, std::memory_order_relaxed) +
+      frame_bytes + queued_snapshot_.load(std::memory_order_relaxed);
+  if (backlog > options_.queue_limits.max_bytes) {
+    posted_bytes_.fetch_sub(frame_bytes, std::memory_order_relaxed);
+    stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    return SendStatus::kOverflow;
+  }
+  loop_.Post([this, to, frame = std::move(frame), frame_bytes]() mutable {
+    posted_bytes_.fetch_sub(frame_bytes, std::memory_order_relaxed);
+    SendOnLink(to, std::move(frame));
+    queued_snapshot_.store(TotalQueuedBytes(), std::memory_order_relaxed);
+  });
+  return backlog > options_.queue_limits.pressure_bytes
+             ? SendStatus::kPressured
+             : SendStatus::kOk;
+}
+
+size_t Worker::TotalQueuedBytes() const {
+  size_t total = 0;
+  for (const auto& [to, link] : links_) {
+    total += link.pending_bytes;
+    if (link.conn) total += link.conn->queued_bytes();
+  }
+  return total;
+}
+
+void Worker::DropFrames(VmId to, size_t n) {
+  if (n == 0) return;
+  stats_.frames_dropped.fetch_add(n, std::memory_order_relaxed);
+  if (on_frames_dropped_) on_frames_dropped_(to, n);
+}
+
+void Worker::SendOnLink(VmId to, std::vector<uint8_t> frame) {
+  Link& link = links_[to];
+  if (!link.conn && !link.retry_scheduled) TryConnect(to);
+  if (link.conn) {
+    const SendStatus st = link.conn->Send(std::move(frame));
+    if (st == SendStatus::kOverflow) DropFrames(to, 1);
+    // kClosed: the close callback already rerouted state; the frame is part
+    // of that link's loss, which replay covers.
+    return;
+  }
+  // Link down, retry pending: hold the frame, bounded like a live queue.
+  if (link.pending_bytes + frame.size() >
+      options_.queue_limits.max_bytes) {
+    DropFrames(to, 1);
+    return;
+  }
+  link.pending_bytes += frame.size();
+  link.pending.push_back(std::move(frame));
+}
+
+void Worker::TryConnect(VmId to) {
+  Link& link = links_[to];
+  const std::optional<uint16_t> port = registry_->Lookup(to);
+  if (!port.has_value()) {
+    // Peer not (yet, or no longer) registered; retry on the same backoff
+    // schedule as a refused connect.
+    ++link.failures;
+    ScheduleRetry(to);
+    return;
+  }
+  auto fd = ConnectLoopback(*port);
+  if (!fd.ok()) {
+    ++link.failures;
+    ScheduleRetry(to);
+    return;
+  }
+  stats_.reconnect_attempts.fetch_add(1, std::memory_order_relaxed);
+  link.conn = std::make_unique<Connection>(
+      &loop_, std::move(fd).value(), /*connecting=*/true,
+      options_.queue_limits, options_.max_frame_payload);
+  link.conn->set_on_close(
+      [this, to](Connection* conn) { OnOutboundClosed(to, conn); });
+  // First frame on every outbound link: who we are, so the receiver can
+  // attribute a later disconnect of this link to our VmId.
+  Message hello;
+  hello.type = MessageType::kHello;
+  hello.from_vm = vm_;
+  hello.to_vm = to;
+  link.conn->Send(EncodeMessage(hello));
+  // A successful (eventual) connect flushes in order: hello, then any
+  // frames queued while the link was down.
+  while (!link.pending.empty()) {
+    std::vector<uint8_t> frame = std::move(link.pending.front());
+    link.pending.pop_front();
+    link.pending_bytes -= frame.size();
+    if (link.conn->Send(std::move(frame)) == SendStatus::kOverflow) {
+      DropFrames(to, 1);
+    }
+    if (!link.conn) return;  // close fired re-entrantly
+  }
+}
+
+void Worker::OnOutboundClosed(VmId to, Connection* conn) {
+  auto it = links_.find(to);
+  if (it == links_.end() || it->second.conn.get() != conn) return;
+  Link& link = it->second;
+  DropFrames(to, conn->frames_dropped());
+  stats_.peer_disconnects.fetch_add(1, std::memory_order_relaxed);
+  // Defer destruction: this callback runs inside the connection's own event
+  // handling, and the loop drains posted tasks only after unwinding it.
+  graveyard_.push_back(std::move(link.conn));
+  loop_.Post([this] { graveyard_.clear(); });
+  // A link that had come up earns a fresh backoff schedule; one that never
+  // connected keeps climbing towards the cap.
+  link.failures = conn->ever_connected() ? 0 : link.failures + 1;
+  ScheduleRetry(to);
+  if (on_peer_disconnect_) on_peer_disconnect_(to);
+}
+
+void Worker::ScheduleRetry(VmId to) {
+  Link& link = links_[to];
+  if (link.retry_scheduled) return;
+  link.retry_scheduled = true;
+  const uint32_t shift = std::min<uint32_t>(link.failures, 16);
+  const auto delay = std::min(options_.backoff_initial * (1u << shift),
+                              options_.backoff_cap);
+  loop_.AddTimer(delay, [this, to] {
+    auto it = links_.find(to);
+    if (it == links_.end()) return;
+    it->second.retry_scheduled = false;
+    if (!it->second.conn) TryConnect(to);
+  });
+}
+
+void Worker::OnListenerReadable() {
+  while (true) {
+    auto fd = AcceptConnection(listener_.get());
+    if (!fd.ok()) return;
+    if (!fd.value().valid()) return;  // accept queue drained
+    auto in = std::make_unique<Inbound>();
+    in->conn = std::make_unique<Connection>(
+        &loop_, std::move(fd).value(), /*connecting=*/false,
+        options_.queue_limits, options_.max_frame_payload);
+    in->conn->set_on_frame(
+        [this](Connection* conn, std::vector<uint8_t> payload) {
+          OnInboundFrame(conn, std::move(payload));
+        });
+    in->conn->set_on_close(
+        [this](Connection* conn) { OnInboundClosed(conn); });
+    inbound_.push_back(std::move(in));
+  }
+}
+
+void Worker::OnInboundFrame(Connection* conn,
+                            std::vector<uint8_t> payload) {
+  auto decoded = DecodeMessage(payload);
+  if (!decoded.ok()) {
+    // Undecodable envelope after a valid CRC: protocol bug or version skew.
+    // Treat the stream as poisoned, same as corruption.
+    conn->Close();
+    return;
+  }
+  Message msg = std::move(decoded).value();
+  if (msg.type == MessageType::kHello) {
+    for (auto& in : inbound_) {
+      if (in->conn.get() == conn) {
+        in->peer = msg.from_vm;
+        break;
+      }
+    }
+    return;
+  }
+  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  if (on_message_) on_message_(std::move(msg));
+}
+
+void Worker::OnInboundClosed(Connection* conn) {
+  for (auto it = inbound_.begin(); it != inbound_.end(); ++it) {
+    if ((*it)->conn.get() != conn) continue;
+    const VmId peer = (*it)->peer;
+    stats_.peer_disconnects.fetch_add(1, std::memory_order_relaxed);
+    // Deferred destruction, as for outbound links.
+    graveyard_.push_back(std::move((*it)->conn));
+    loop_.Post([this] { graveyard_.clear(); });
+    inbound_.erase(it);
+    if (peer != kInvalidVm && on_peer_disconnect_) on_peer_disconnect_(peer);
+    return;
+  }
+}
+
+}  // namespace seep::net

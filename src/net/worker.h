@@ -1,0 +1,155 @@
+#ifndef SEEP_NET_WORKER_H_
+#define SEEP_NET_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "net/connection.h"
+#include "net/endpoint.h"
+#include "net/event_loop.h"
+#include "net/wire.h"
+
+namespace seep::net {
+
+/// Knobs for a worker's links.
+struct WorkerOptions {
+  QueueLimits queue_limits;
+  uint64_t max_frame_payload = serde::kDefaultMaxFramePayload;
+  /// Reconnect backoff: first retry after `backoff_initial`, doubling up to
+  /// `backoff_cap`.
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_cap{500};
+};
+
+/// The networking half of one VM: a thread running an EventLoop, a loopback
+/// listener other workers connect to, and one outbound Connection per peer
+/// VM this worker sends to (lazily established, reconnected with capped
+/// exponential backoff after any failure). Inbound links identify their peer
+/// through a kHello frame, so disconnects are attributed to a VmId on both
+/// sides.
+///
+/// Threading: Post and Kill are safe from any thread; everything else —
+/// including all callbacks — runs on the worker's loop thread.
+class Worker {
+ public:
+  /// Inbound message, delivered on the worker thread.
+  using MessageCallback = std::function<void(Message)>;
+  /// A link to/from `peer` died, delivered on the worker thread. Fires for
+  /// both inbound and outbound links (once per link death, which means a
+  /// dead peer is typically reported twice: data link and reverse link).
+  using PeerCallback = std::function<void(VmId peer)>;
+  /// `frames` outbound frames to `peer` were dropped (overflow or link
+  /// death), on the worker thread.
+  using DropCallback = std::function<void(VmId peer, size_t frames)>;
+
+  /// Monotonic counters, readable from any thread.
+  struct Stats {
+    std::atomic<uint64_t> messages_delivered{0};
+    std::atomic<uint64_t> frames_dropped{0};
+    std::atomic<uint64_t> peer_disconnects{0};
+    std::atomic<uint64_t> reconnect_attempts{0};
+  };
+
+  Worker(VmId vm, EndpointRegistry* registry, WorkerOptions options = {});
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void set_on_message(MessageCallback cb) { on_message_ = std::move(cb); }
+  void set_on_peer_disconnect(PeerCallback cb) {
+    on_peer_disconnect_ = std::move(cb);
+  }
+  void set_on_frames_dropped(DropCallback cb) {
+    on_frames_dropped_ = std::move(cb);
+  }
+
+  /// Binds the listener (ephemeral loopback port), registers it, and starts
+  /// the loop thread. Callbacks must be set before Start.
+  Status Start();
+
+  /// Hard stop, from any thread except the loop thread: unregisters the
+  /// endpoint, stops and joins the loop, closes every socket. Peers see the
+  /// close as a dead TCP peer — exactly the failure the recovery protocol
+  /// handles. Idempotent.
+  void Kill();
+
+  /// Queues `msg` for delivery to `to`, establishing the link if needed.
+  /// Safe from any thread. kPressured reflects this worker's total queued
+  /// outbound bytes crossing the soft watermark; kOverflow means the frame
+  /// was dropped at the hard cap; kClosed means the worker was killed.
+  SendStatus Post(VmId to, const Message& msg);
+
+  VmId vm() const { return vm_; }
+  uint16_t port() const { return port_; }
+  const Stats& stats() const { return stats_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  /// One outbound link: the live connection (possibly still connecting), a
+  /// pending queue for frames that arrive while the link is down, and the
+  /// reconnect backoff state. Loop thread only.
+  struct Link {
+    std::unique_ptr<Connection> conn;
+    std::deque<std::vector<uint8_t>> pending;
+    size_t pending_bytes = 0;
+    uint32_t failures = 0;
+    bool retry_scheduled = false;
+  };
+
+  /// One accepted inbound connection and the peer it announced via kHello.
+  struct Inbound {
+    std::unique_ptr<Connection> conn;
+    VmId peer = kInvalidVm;
+  };
+
+  void OnListenerReadable();
+  void SendOnLink(VmId to, std::vector<uint8_t> frame);
+  void TryConnect(VmId to);
+  void OnOutboundClosed(VmId to, Connection* conn);
+  void ScheduleRetry(VmId to);
+  void OnInboundFrame(Connection* conn, std::vector<uint8_t> payload);
+  void OnInboundClosed(Connection* conn);
+  void DropFrames(VmId to, size_t n);
+  size_t TotalQueuedBytes() const;
+
+  const VmId vm_;
+  EndpointRegistry* const registry_;
+  const WorkerOptions options_;
+
+  MessageCallback on_message_;
+  PeerCallback on_peer_disconnect_;
+  DropCallback on_frames_dropped_;
+
+  EventLoop loop_;
+  std::thread thread_;
+  ScopedFd listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+
+  // Loop-thread state.
+  std::unordered_map<VmId, Link> links_;
+  std::vector<std::unique_ptr<Inbound>> inbound_;
+  // Connections whose close callback fired mid-event: parked here and freed
+  // by a posted task, after the loop unwinds out of their callbacks.
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+
+  // Approximate outbound backlog for pressure reporting: posted-but-not-yet-
+  // processed bytes plus a loop-thread-maintained snapshot of queued bytes.
+  std::atomic<size_t> posted_bytes_{0};
+  std::atomic<size_t> queued_snapshot_{0};
+
+  Stats stats_;
+};
+
+}  // namespace seep::net
+
+#endif  // SEEP_NET_WORKER_H_

@@ -11,8 +11,12 @@ Cluster::Cluster(const core::QueryGraph* graph, ClusterConfig config)
       provider_(&sim_, config.provider, config.seed ^ 0xC10DD),
       pool_(&sim_, &provider_, config.pool),
       membership_(this),
-      fences_(this),
-      transport_(std::make_unique<SimTransport>(this)) {
+      fences_(this) {
+  if (config_.transport == TransportKind::kTcp) {
+    transport_ = std::make_unique<TcpTransport>(this, config_.tcp);
+  } else {
+    transport_ = std::make_unique<SimTransport>(this);
+  }
   if (config_.audit_level > verify::kAuditOff) {
     auditor_ = std::make_unique<verify::InvariantAuditor>(config_.audit_level);
   }

@@ -14,6 +14,7 @@
 #include "runtime/fence_registry.h"
 #include "runtime/membership.h"
 #include "runtime/metrics.h"
+#include "runtime/tcp_transport.h"
 #include "runtime/transport.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -32,10 +33,26 @@ enum class FaultToleranceMode {
   kNone,             // no checkpoints, no recovery
 };
 
+/// Which Transport backend ships messages between instances. kSim is the
+/// deterministic default every figure bench uses; kTcp runs real loopback
+/// TCP between per-VM worker threads (net::LocalCluster) while the logical
+/// runtime stays on the sim driver thread.
+enum class TransportKind {
+  kSim,
+  kTcp,
+};
+
 struct ClusterConfig {
   sim::NetworkConfig network;
   cloud::CloudProviderConfig provider;
   cloud::VmPoolConfig pool;
+
+  TransportKind transport = TransportKind::kSim;
+  TcpTransportConfig tcp;
+  /// How long an instance throttles its job scheduler after SendBatch
+  /// reports outbound queue pressure (TCP backend only; the sim backend
+  /// never reports pressure). 0 disables throttling.
+  SimTime backpressure_pause = MillisToSim(5);
 
   FaultToleranceMode ft_mode = FaultToleranceMode::kStateManagement;
   /// Checkpointing interval c (paper §3.2); R+SM only.

@@ -34,9 +34,14 @@ void EmissionRouter::Flush(
     trims_->NoteSent(down, dest, tuple.timestamp);
     outgoing[dest].tuples.push_back(std::move(tuple));
   }
+  bool pressured = false;
   for (auto& [dest, batch] : outgoing) {
-    cluster_->transport()->SendBatch(inst_, dest, std::move(batch));
+    if (cluster_->transport()->SendBatch(inst_, dest, std::move(batch)) ==
+        SendPressure::kPressured) {
+      pressured = true;
+    }
   }
+  if (pressured) inst_->OnSendPressure();
 }
 
 void EmissionRouter::SetSuppressUntil(core::InputPositions positions) {

@@ -20,14 +20,23 @@ void JobScheduler::Resume() {
   TryStart();
 }
 
+void JobScheduler::ThrottleFor(SimTime duration) {
+  if (throttled_ || duration <= 0) return;
+  throttled_ = true;
+  sim_->Schedule(duration, [this]() {
+    throttled_ = false;
+    TryStart();
+  });
+}
+
 void JobScheduler::Clear() {
   queue_.clear();
   queued_tuples_ = 0;
 }
 
 void JobScheduler::TryStart() {
-  if (busy_ || paused_ || !host_->alive() || host_->stopped() ||
-      queue_.empty()) {
+  if (busy_ || paused_ || throttled_ || !host_->alive() ||
+      host_->stopped() || queue_.empty()) {
     return;
   }
 

@@ -56,6 +56,13 @@ class JobScheduler {
   void Pause() { paused_ = true; }
   void Resume();
 
+  /// Backpressure throttle: halts job starts for `duration`, then resumes
+  /// automatically. Independent of Pause/Resume (which coordinators own);
+  /// re-throttling while already throttled is a no-op, so a burst of
+  /// pressured sends costs one pause, not a pile-up of them.
+  void ThrottleFor(SimTime duration);
+  bool throttled() const { return throttled_; }
+
   /// Discards all queued jobs (graceful stop / crash-stop / reset).
   void Clear();
 
@@ -80,6 +87,7 @@ class JobScheduler {
 
   bool busy_ = false;
   bool paused_ = false;
+  bool throttled_ = false;
   std::deque<Job> queue_;
   size_t queued_tuples_ = 0;
   double busy_accum_us_ = 0;

@@ -45,7 +45,7 @@ Result<InstanceId> Membership::DeployInstance(OperatorId op, VmId vm,
   instances_.emplace(id, std::move(instance));
   partitions_[op].push_back(id);
   vm_to_instance_[vm] = id;
-  cluster_->network()->Attach(vm);
+  cluster_->transport()->AttachVm(vm);
   RecordVmsInUse();
   return id;
 }
@@ -94,7 +94,7 @@ void Membership::StopInstance(InstanceId id, bool release_vm) {
   if (inst == nullptr) return;
   inst->Stop();
   if (release_vm && inst->vm() != kInvalidVm) {
-    cluster_->network()->Detach(inst->vm());
+    cluster_->transport()->DetachVm(inst->vm());
     vm_to_instance_.erase(inst->vm());
     (void)cluster_->provider()->ReleaseVm(inst->vm());
   }
@@ -114,7 +114,7 @@ void Membership::FinalizeRetire(InstanceId id) {
 Status Membership::KillVm(VmId vm) {
   auto it = vm_to_instance_.find(vm);
   SEEP_RETURN_IF_ERROR(cluster_->provider()->KillVm(vm));
-  cluster_->network()->Detach(vm);
+  cluster_->transport()->DetachVm(vm);
   if (it != vm_to_instance_.end()) {
     OperatorInstance* inst = GetInstance(it->second);
     SEEP_CHECK(inst != nullptr);

@@ -108,6 +108,10 @@ void OperatorInstance::EnqueueJob(JobScheduler::Job job) {
   scheduler_.Enqueue(std::move(job));
 }
 
+void OperatorInstance::OnSendPressure() {
+  scheduler_.ThrottleFor(cluster_->config().backpressure_pause);
+}
+
 // ------------------------------------------------------------------ job hooks
 
 void OperatorInstance::PrepareJob(JobScheduler::Job* job) {

@@ -97,6 +97,11 @@ class OperatorInstance : private JobScheduler::Host {
   /// enqueues checkpoint jobs through this).
   void EnqueueJob(JobScheduler::Job job);
 
+  /// The transport reported outbound queue pressure on this instance's
+  /// sends: throttle the job scheduler briefly so the sender stops
+  /// outrunning its links (TCP backend; the sim backend never signals).
+  void OnSendPressure();
+
   // ------------------------------------------------------ state management
 
   /// checkpoint-state(o) → (θo, τo, βo): synchronous snapshot, used by the

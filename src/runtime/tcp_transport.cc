@@ -1,0 +1,301 @@
+#include "runtime/tcp_transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/local_cluster.h"
+#include "net/wire.h"
+#include "runtime/cluster.h"
+#include "runtime/operator_instance.h"
+#include "serde/decoder.h"
+#include "serde/encoder.h"
+
+namespace seep::runtime {
+
+/// Everything shared between the sim driver thread and the worker threads.
+/// Invariant: `in_flight[vm]` over-approximates messages addressed to `vm`
+/// that were accepted by the net layer but have not yet reached the inbox —
+/// it is zeroed when `vm` detaches (traffic to a dead VM is dead by
+/// definition) and decrements are clamped, so the pump's bounded wait can
+/// never wedge on a lost frame.
+struct TcpTransport::Impl {
+  explicit Impl(net::WorkerOptions options) : cluster(options) {}
+
+  net::LocalCluster cluster;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<net::Message> inbox;
+  std::unordered_map<VmId, uint64_t> in_flight;
+  uint64_t total_in_flight = 0;
+
+  // Sim-thread only: pending ShipState completions, keyed by ship_id.
+  struct ShipEntry {
+    VmId to = kInvalidVm;
+    std::function<void()> on_delivery;
+  };
+  std::unordered_map<uint64_t, ShipEntry> ships;
+  uint64_t next_ship_id = 0;
+
+  std::atomic<uint64_t> disconnects{0};
+
+  // Must hold mu.
+  void DecInFlightLocked(VmId vm, uint64_t n) {
+    auto it = in_flight.find(vm);
+    if (it == in_flight.end()) return;
+    const uint64_t dec = std::min(it->second, n);
+    it->second -= dec;
+    total_in_flight -= dec;
+  }
+
+  /// Queues `msg` on `from`'s worker with in-flight accounting, translating
+  /// net-layer status into the transport's pressure signal.
+  SendPressure Ship(VmId from, VmId to, const net::Message& msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = in_flight.find(to);
+      if (it == in_flight.end()) return SendPressure::kNone;  // dead VM
+      ++it->second;
+      ++total_in_flight;
+    }
+    const net::SendStatus st = cluster.Post(from, to, msg);
+    if (st == net::SendStatus::kOverflow || st == net::SendStatus::kClosed) {
+      std::lock_guard<std::mutex> lock(mu);
+      DecInFlightLocked(to, 1);
+      cv.notify_one();
+    }
+    return st == net::SendStatus::kPressured ? SendPressure::kPressured
+                                             : SendPressure::kNone;
+  }
+};
+
+TcpTransport::TcpTransport(Cluster* cluster, TcpTransportConfig config)
+    : cluster_(cluster), config_(config) {
+  net::WorkerOptions options;
+  options.queue_limits.pressure_bytes = config_.queue_pressure_bytes;
+  options.queue_limits.max_bytes = config_.queue_max_bytes;
+  options.max_frame_payload = config_.max_frame_bytes;
+  impl_ = std::make_unique<Impl>(options);
+  SchedulePump();
+}
+
+TcpTransport::~TcpTransport() { impl_->cluster.Shutdown(); }
+
+net::LocalCluster* TcpTransport::net_cluster() { return &impl_->cluster; }
+
+uint64_t TcpTransport::disconnects_observed() const {
+  return impl_->disconnects.load(std::memory_order_relaxed);
+}
+
+uint64_t TcpTransport::messages_delivered() const {
+  return impl_->cluster.TotalStats().messages_delivered;
+}
+
+uint64_t TcpTransport::frames_dropped() const {
+  return impl_->cluster.TotalStats().frames_dropped;
+}
+
+void TcpTransport::AttachVm(VmId vm) {
+  // Mirror into the sim network so its attachment directory (and any code
+  // consulting IsAttached) stays coherent; no sim traffic flows through it.
+  cluster_->network()->Attach(vm);
+  Impl* impl = impl_.get();
+  const Status started = impl->cluster.StartWorker(
+      vm,
+      /*on_message=*/
+      [impl, vm](net::Message msg) {
+        std::lock_guard<std::mutex> lock(impl->mu);
+        impl->DecInFlightLocked(vm, 1);
+        impl->inbox.push_back(std::move(msg));
+        impl->cv.notify_one();
+      },
+      /*on_peer_disconnect=*/
+      [impl](VmId) {
+        impl->disconnects.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*on_frames_dropped=*/
+      [impl](VmId peer, size_t n) {
+        std::lock_guard<std::mutex> lock(impl->mu);
+        impl->DecInFlightLocked(peer, n);
+        impl->cv.notify_one();
+      });
+  SEEP_CHECK(started.ok());
+  std::lock_guard<std::mutex> lock(impl->mu);
+  impl->in_flight.try_emplace(vm, 0);
+}
+
+void TcpTransport::DetachVm(VmId vm) {
+  cluster_->network()->Detach(vm);
+  // Kill first (joins the worker thread), then zero the accounting: frames
+  // already handed to this VM's kernel buffers die unobserved, and the
+  // pump must not wait for them.
+  impl_->cluster.KillWorker(vm);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->DecInFlightLocked(vm, UINT64_MAX);
+    impl_->in_flight.erase(vm);
+    impl_->cv.notify_one();
+  }
+  // Pending state shipments to the dead VM will never complete (sim
+  // parity: sim::Network drops deliveries to detached endpoints).
+  for (auto it = impl_->ships.begin(); it != impl_->ships.end();) {
+    it = it->second.to == vm ? impl_->ships.erase(it) : std::next(it);
+  }
+}
+
+SendPressure TcpTransport::SendBatch(OperatorInstance* from, InstanceId to,
+                                     core::TupleBatch batch) {
+  batch.from = from->id();
+  const OperatorInstance* dest = cluster_->membership()->GetInstance(to);
+  if (dest == nullptr) return SendPressure::kNone;
+
+  net::Message msg;
+  msg.type = net::MessageType::kBatch;
+  msg.from_vm = from->vm();
+  msg.to_vm = dest->vm();
+  serde::Encoder enc;
+  enc.AppendVarint64(to);  // destination instance, then the batch itself
+  batch.Encode(&enc);
+  msg.body = std::move(enc).TakeBuffer();
+  return impl_->Ship(from->vm(), dest->vm(), msg);
+}
+
+InstanceId TcpTransport::BackupHolderFor(
+    const OperatorInstance* owner) const {
+  return ChooseBackupHolder(cluster_, owner);
+}
+
+void TcpTransport::BackupCheckpoint(OperatorInstance* owner,
+                                    core::StateCheckpoint ckpt) {
+  const InstanceId holder_id = BackupHolderFor(owner);
+  if (holder_id == kInvalidInstance) return;  // no live upstream
+  OperatorInstance* holder = cluster_->membership()->GetInstance(holder_id);
+  SEEP_CHECK(holder != nullptr);
+
+  net::Message msg;
+  msg.type = net::MessageType::kCheckpoint;
+  msg.from_vm = owner->vm();
+  msg.to_vm = holder->vm();
+  serde::Encoder enc;
+  enc.AppendVarint64(owner->id());
+  enc.AppendVarint64(owner->op());
+  enc.AppendVarint64(holder_id);
+  enc.AppendVarint64(ckpt.ByteSize());
+  ckpt.Encode(&enc);
+  msg.body = std::move(enc).TakeBuffer();
+  impl_->Ship(owner->vm(), holder->vm(), msg);
+}
+
+void TcpTransport::ShipState(VmId from, VmId to, uint64_t size_bytes,
+                             std::function<void()> on_delivery) {
+  const uint64_t id = ++impl_->next_ship_id;
+  net::Message msg;
+  msg.type = net::MessageType::kStateShip;
+  msg.from_vm = from;
+  msg.to_vm = to;
+  msg.ship_id = id;
+  serde::Encoder enc;
+  enc.AppendVarint64(size_bytes);
+  // Real bytes on the wire so bulk shipping exercises the stream path, but
+  // capped: the logical size alone decides the protocol's behaviour.
+  const size_t filler =
+      static_cast<size_t>(std::min(size_bytes, config_.ship_payload_cap));
+  enc.Reserve(filler);
+  for (size_t i = 0; i < filler; ++i) enc.AppendU8(0xA5);
+  msg.body = std::move(enc).TakeBuffer();
+
+  impl_->ships[id] = Impl::ShipEntry{to, std::move(on_delivery)};
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->in_flight.find(to);
+    if (it == impl_->in_flight.end()) {
+      impl_->ships.erase(id);  // dead destination: delivery never happens
+      return;
+    }
+    ++it->second;
+    ++impl_->total_in_flight;
+  }
+  const net::SendStatus st = impl_->cluster.Post(from, to, msg);
+  if (st == net::SendStatus::kOverflow || st == net::SendStatus::kClosed) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->DecInFlightLocked(to, 1);
+    impl_->ships.erase(id);
+  }
+}
+
+void TcpTransport::SchedulePump() {
+  cluster_->simulation()->Schedule(config_.pump_interval,
+                                   [this]() { Pump(); });
+}
+
+void TcpTransport::Pump() {
+  std::deque<net::Message> drained;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    // Bound the sim-time skew between send and delivery: while messages are
+    // in flight, give them a short wall-clock window to land before sim
+    // time advances past this pump. The wait is bounded, so a stalled link
+    // (reconnect backoff, dead peer mid-detach) delays the simulation by at
+    // most pump_wait_micros per pump instead of wedging it.
+    impl_->cv.wait_for(
+        lock, std::chrono::microseconds(config_.pump_wait_micros), [this] {
+          return impl_->total_in_flight == 0 || !impl_->inbox.empty();
+        });
+    drained.swap(impl_->inbox);
+  }
+  for (net::Message& msg : drained) {
+    switch (msg.type) {
+      case net::MessageType::kBatch: {
+        serde::Decoder dec(msg.body);
+        auto to = dec.ReadVarint64();
+        if (!to.ok()) break;
+        auto batch = core::TupleBatch::Decode(&dec);
+        if (!batch.ok()) break;
+        OperatorInstance* target = cluster_->membership()->GetInstance(
+            static_cast<InstanceId>(to.value()));
+        if (target != nullptr) target->OnBatch(std::move(batch).value());
+        break;
+      }
+      case net::MessageType::kCheckpoint: {
+        serde::Decoder dec(msg.body);
+        auto owner_id = dec.ReadVarint64();
+        auto owner_op = dec.ReadVarint64();
+        auto holder_id = dec.ReadVarint64();
+        auto bytes = dec.ReadVarint64();
+        if (!owner_id.ok() || !owner_op.ok() || !holder_id.ok() ||
+            !bytes.ok()) {
+          break;
+        }
+        auto ckpt = core::StateCheckpoint::Decode(&dec);
+        if (!ckpt.ok()) break;
+        DeliverCheckpointToHolder(
+            cluster_, static_cast<InstanceId>(owner_id.value()),
+            static_cast<OperatorId>(owner_op.value()),
+            static_cast<InstanceId>(holder_id.value()), bytes.value(),
+            std::move(ckpt).value());
+        break;
+      }
+      case net::MessageType::kStateShip: {
+        auto it = impl_->ships.find(msg.ship_id);
+        if (it == impl_->ships.end()) break;  // cancelled by DetachVm
+        std::function<void()> cb = std::move(it->second.on_delivery);
+        impl_->ships.erase(it);
+        if (cb) cb();
+        break;
+      }
+      case net::MessageType::kHello:
+      case net::MessageType::kControl:
+        break;  // hellos stay inside net/; no control users yet
+    }
+  }
+  SchedulePump();
+}
+
+}  // namespace seep::runtime

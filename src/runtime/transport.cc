@@ -10,12 +10,87 @@
 
 namespace seep::runtime {
 
-void SimTransport::SendBatch(OperatorInstance* from, InstanceId to,
-                             core::TupleBatch batch) {
+InstanceId ChooseBackupHolder(const Cluster* cluster,
+                              const OperatorInstance* owner) {
+  const std::vector<InstanceId> upstream =
+      cluster->membership()->UpstreamInstancesOf(owner->op());
+  if (upstream.empty()) return kInvalidInstance;
+  return cluster->config().spread_backups
+             ? core::ChooseBackupInstance(owner->id(), upstream)
+             : upstream.front();
+}
+
+void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
+                               OperatorId owner_op, InstanceId holder_id,
+                               uint64_t bytes, core::StateCheckpoint ckpt) {
+  Membership* members = cluster->membership();
+  MetricsRegistry* metrics = cluster->metrics();
+  OperatorInstance* h = members->GetInstance(holder_id);
+  if (h == nullptr || !h->alive() || h->stopped()) return;
+  OperatorInstance* o = members->GetInstance(owner_id);
+  if (o == nullptr || !o->alive()) return;  // owner died meanwhile
+  // A checkpoint caught in flight when the scale-out coordinator suspended
+  // the owner must not land: the coordinator already retrieved the older
+  // backup as the restore point, and this checkpoint's trim
+  // acknowledgements would drop upstream tuples that restore point still
+  // needs replayed.
+  if (o->checkpoints_suspended()) return;
+
+  // Algorithm 1 lines 3/5-7: store (or apply a delta onto the held base),
+  // superseding any previous holder.
+  const core::InputPositions positions = ckpt.positions;
+  if (ckpt.is_delta) {
+    BackupStore::Entry* entry = cluster->backups()->Mutable(owner_id);
+    if (entry == nullptr || entry->holder != holder_id) {
+      ++metrics->delta_apply_failures;
+      return;  // base missing or moved; the next full resyncs
+    }
+    // Applied in place on the stored base: ApplyDelta validates before
+    // mutating, so a rejected delta leaves the older consistent base.
+    const Status applied = core::ApplyDelta(&entry->checkpoint, ckpt);
+    if (!applied.ok()) {
+      ++metrics->delta_apply_failures;
+      return;  // out-of-order delta; keep the older consistent base
+    }
+  } else {
+    // Background checkpoint shipments to different holders can arrive out
+    // of order; a stale one must never supersede a fresher stored
+    // checkpoint whose higher positions were already acknowledged upstream
+    // (recovery from the stale one would need trimmed tuples).
+    const BackupStore::Entry* existing = cluster->backups()->Find(owner_id);
+    if (existing != nullptr && existing->checkpoint.seq >= ckpt.seq) {
+      return;
+    }
+    cluster->backups()->Store(owner_id, holder_id, std::move(ckpt));
+  }
+  if (auto* audit = cluster->audit()) {
+    const BackupStore::Entry* stored = cluster->backups()->Find(owner_id);
+    audit->OnCheckpointStored(owner_id, o->vm(), holder_id, h->vm(),
+                              stored->checkpoint.seq);
+  }
+  metrics->checkpoints_taken++;
+  metrics->checkpoint_bytes += bytes;
+
+  // Algorithm 1 line 4: acknowledge the checkpointed positions to all
+  // upstream instances so they can trim their output buffers.
+  for (OperatorId up_op : cluster->graph()->Upstream(owner_op)) {
+    for (InstanceId uid : members->LiveInstancesOf(up_op)) {
+      OperatorInstance* u = members->GetInstance(uid);
+      u->OnTrimAck(owner_op, owner_id, positions.Get(u->origin()));
+    }
+  }
+}
+
+void SimTransport::AttachVm(VmId vm) { cluster_->network()->Attach(vm); }
+
+void SimTransport::DetachVm(VmId vm) { cluster_->network()->Detach(vm); }
+
+SendPressure SimTransport::SendBatch(OperatorInstance* from, InstanceId to,
+                                     core::TupleBatch batch) {
   batch.from = from->id();
   Membership* members = cluster_->membership();
   const OperatorInstance* dest = members->GetInstance(to);
-  if (dest == nullptr) return;
+  if (dest == nullptr) return SendPressure::kNone;
   const uint64_t bytes = batch.SerializedSize();
   auto shared = std::make_shared<core::TupleBatch>(std::move(batch));
   cluster_->network()->Send(
@@ -23,16 +98,12 @@ void SimTransport::SendBatch(OperatorInstance* from, InstanceId to,
         OperatorInstance* target = members->GetInstance(to);
         if (target != nullptr) target->OnBatch(std::move(*shared));
       });
+  return SendPressure::kNone;
 }
 
 InstanceId SimTransport::BackupHolderFor(
     const OperatorInstance* owner) const {
-  const std::vector<InstanceId> upstream =
-      cluster_->membership()->UpstreamInstancesOf(owner->op());
-  if (upstream.empty()) return kInvalidInstance;
-  return cluster_->config().spread_backups
-             ? core::ChooseBackupInstance(owner->id(), upstream)
-             : upstream.front();
+  return ChooseBackupHolder(cluster_, owner);
 }
 
 void SimTransport::BackupCheckpoint(OperatorInstance* owner,
@@ -54,65 +125,8 @@ void SimTransport::BackupCheckpoint(OperatorInstance* owner,
       // Checkpoint shipping is throttled background traffic: it must not
       // delay the data path (the paper checkpoints asynchronously).
       [this, owner_id, owner_op, holder_id, bytes, shared]() {
-        Membership* members = cluster_->membership();
-        MetricsRegistry* metrics = cluster_->metrics();
-        OperatorInstance* h = members->GetInstance(holder_id);
-        if (h == nullptr || !h->alive() || h->stopped()) return;
-        OperatorInstance* o = members->GetInstance(owner_id);
-        if (o == nullptr || !o->alive()) return;  // owner died meanwhile
-        // A checkpoint caught in flight when the scale-out coordinator
-        // suspended the owner must not land: the coordinator already
-        // retrieved the older backup as the restore point, and this
-        // checkpoint's trim acknowledgements would drop upstream tuples
-        // that restore point still needs replayed.
-        if (o->checkpoints_suspended()) return;
-
-        // Algorithm 1 lines 3/5-7: store (or apply a delta onto the held
-        // base), superseding any previous holder.
-        const core::InputPositions positions = shared->positions;
-        if (shared->is_delta) {
-          BackupStore::Entry* entry = cluster_->backups()->Mutable(owner_id);
-          if (entry == nullptr || entry->holder != holder_id) {
-            ++metrics->delta_apply_failures;
-            return;  // base missing or moved; the next full resyncs
-          }
-          // Applied in place on the stored base: ApplyDelta validates before
-          // mutating, so a rejected delta leaves the older consistent base.
-          const Status applied = core::ApplyDelta(&entry->checkpoint, *shared);
-          if (!applied.ok()) {
-            ++metrics->delta_apply_failures;
-            return;  // out-of-order delta; keep the older consistent base
-          }
-        } else {
-          // Background checkpoint shipments to different holders can arrive
-          // out of order; a stale one must never supersede a fresher stored
-          // checkpoint whose higher positions were already acknowledged
-          // upstream (recovery from the stale one would need trimmed tuples).
-          const BackupStore::Entry* existing =
-              cluster_->backups()->Find(owner_id);
-          if (existing != nullptr &&
-              existing->checkpoint.seq >= shared->seq) {
-            return;
-          }
-          cluster_->backups()->Store(owner_id, holder_id, std::move(*shared));
-        }
-        if (auto* audit = cluster_->audit()) {
-          const BackupStore::Entry* stored =
-              cluster_->backups()->Find(owner_id);
-          audit->OnCheckpointStored(owner_id, o->vm(), holder_id, h->vm(),
-                                    stored->checkpoint.seq);
-        }
-        metrics->checkpoints_taken++;
-        metrics->checkpoint_bytes += bytes;
-
-        // Algorithm 1 line 4: acknowledge the checkpointed positions to all
-        // upstream instances so they can trim their output buffers.
-        for (OperatorId up_op : cluster_->graph()->Upstream(owner_op)) {
-          for (InstanceId uid : members->LiveInstancesOf(up_op)) {
-            OperatorInstance* u = members->GetInstance(uid);
-            u->OnTrimAck(owner_op, owner_id, positions.Get(u->origin()));
-          }
-        }
+        DeliverCheckpointToHolder(cluster_, owner_id, owner_op, holder_id,
+                                  bytes, std::move(*shared));
       },
       /*background=*/true);
 }

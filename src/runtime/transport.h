@@ -12,6 +12,17 @@ namespace seep::runtime {
 class Cluster;
 class OperatorInstance;
 
+/// What SendBatch reports about the sender's outbound queues. The simulated
+/// backend never pushes back (the sim models links, not finite socket
+/// buffers), so kNone keeps every sim run byte-identical; the TCP backend
+/// reports kPressured when the sending worker's queued bytes cross its soft
+/// watermark, and the sending instance throttles its job scheduler briefly
+/// in response.
+enum class SendPressure : uint8_t {
+  kNone = 0,
+  kPressured = 1,
+};
+
 /// All inter-instance message shipping: tuple batches on the data path,
 /// checkpoint backups (with their trim acknowledgements) on the background
 /// path, and bulk state shipping during scale out / recovery. Everything an
@@ -22,9 +33,18 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Ships a tuple batch from one instance to another.
-  virtual void SendBatch(OperatorInstance* from, InstanceId to,
-                         core::TupleBatch batch) = 0;
+  /// Brings up / tears down the transport endpoint of a VM. Membership calls
+  /// these as VMs are deployed, released and killed; after DetachVm, traffic
+  /// to the VM is dead (dropped by the sim network, or met with closed
+  /// sockets by the TCP backend — a dead TCP peer and a detached VM are the
+  /// same event to the protocol).
+  virtual void AttachVm(VmId vm) = 0;
+  virtual void DetachVm(VmId vm) = 0;
+
+  /// Ships a tuple batch from one instance to another, reporting outbound
+  /// queue pressure.
+  virtual SendPressure SendBatch(OperatorInstance* from, InstanceId to,
+                                 core::TupleBatch batch) = 0;
 
   /// Algorithm 1 backup-state: selects the holder by hashing over upstream
   /// instances, ships the checkpoint, stores it (applying it onto the held
@@ -45,6 +65,22 @@ class Transport {
                          std::function<void()> on_delivery) = 0;
 };
 
+/// Algorithm 1 line 2: the holder for `owner`'s checkpoints — spread over
+/// the live upstream instances by hash (or the first one, for the ablation
+/// baseline); kInvalidInstance when no upstream is live. Shared by every
+/// Transport backend so they cannot drift on holder choice.
+InstanceId ChooseBackupHolder(const Cluster* cluster,
+                              const OperatorInstance* owner);
+
+/// Algorithm 1 lines 3-7 on the holder's side, run when a shipped checkpoint
+/// arrives: validity/suspension guards, store (or delta-apply onto the held
+/// base) with the stale-sequence guard, audit hook, metrics, and the trim
+/// acknowledgements to the owner's upstream instances. Shared by every
+/// Transport backend — the wire differs, the protocol must not.
+void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
+                               OperatorId owner_op, InstanceId holder_id,
+                               uint64_t bytes, core::StateCheckpoint ckpt);
+
 /// Transport over the deterministic `sim::Network`: batches pay the data
 /// path's bandwidth/latency; checkpoint shipping is throttled background
 /// traffic that must not delay the data path (the paper checkpoints
@@ -53,8 +89,10 @@ class SimTransport : public Transport {
  public:
   explicit SimTransport(Cluster* cluster) : cluster_(cluster) {}
 
-  void SendBatch(OperatorInstance* from, InstanceId to,
-                 core::TupleBatch batch) override;
+  void AttachVm(VmId vm) override;
+  void DetachVm(VmId vm) override;
+  SendPressure SendBatch(OperatorInstance* from, InstanceId to,
+                         core::TupleBatch batch) override;
   void BackupCheckpoint(OperatorInstance* owner,
                         core::StateCheckpoint ckpt) override;
   InstanceId BackupHolderFor(const OperatorInstance* owner) const override;

@@ -1,32 +1,44 @@
 #include "serde/frame.h"
 
+#include "common/macros.h"
 #include "serde/crc32c.h"
 #include "serde/decoder.h"
 #include "serde/encoder.h"
 
 namespace seep::serde {
 
+Result<FrameHeader> ReadFrameHeader(const uint8_t* data, size_t size,
+                                    uint64_t max_payload) {
+  Decoder dec(data, size);
+  FrameHeader header;
+  SEEP_ASSIGN_OR_RETURN(header.payload_len, dec.ReadFixed64());
+  SEEP_ASSIGN_OR_RETURN(header.crc, dec.ReadFixed32());
+  if (header.payload_len > max_payload) {
+    return Status::Corruption("frame length exceeds maximum");
+  }
+  return header;
+}
+
 std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload) {
   Encoder enc;
-  enc.Reserve(12 + payload.size());
+  enc.Reserve(kFrameHeaderBytes + payload.size());
   enc.AppendFixed64(payload.size());
   enc.AppendFixed32(Crc32c(payload.data(), payload.size()));
   enc.AppendRaw(payload.data(), payload.size());
   return std::move(enc).TakeBuffer();
 }
 
-Result<std::vector<uint8_t>> UnframePayload(
-    const std::vector<uint8_t>& frame) {
-  Decoder dec(frame);
-  auto len = dec.ReadFixed64();
-  if (!len.ok()) return len.status();
-  auto crc = dec.ReadFixed32();
-  if (!crc.ok()) return crc.status();
-  if (dec.remaining() != len.value()) {
+Result<std::vector<uint8_t>> UnframePayload(const std::vector<uint8_t>& frame,
+                                            uint64_t max_payload) {
+  FrameHeader header;
+  SEEP_ASSIGN_OR_RETURN(
+      header, ReadFrameHeader(frame.data(), frame.size(), max_payload));
+  if (frame.size() - kFrameHeaderBytes != header.payload_len) {
     return Status::Corruption("frame length mismatch");
   }
-  std::vector<uint8_t> payload(frame.begin() + dec.position(), frame.end());
-  if (Crc32c(payload.data(), payload.size()) != crc.value()) {
+  std::vector<uint8_t> payload(frame.begin() + kFrameHeaderBytes,
+                               frame.end());
+  if (Crc32c(payload.data(), payload.size()) != header.crc) {
     return Status::Corruption("frame CRC mismatch");
   }
   return payload;

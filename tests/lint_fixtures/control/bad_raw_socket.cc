@@ -1,0 +1,2 @@
+// Fixture: a coordinator opening sockets instead of using the Transport.
+#include "net/connection.h"

@@ -1,0 +1,2 @@
+// Fixture: net reaching up into the runtime — net ships opaque bytes only.
+#include "runtime/cluster.h"

@@ -186,5 +186,62 @@ TEST(FrameTest, LengthMismatchRejected) {
   EXPECT_FALSE(UnframePayload(frame).ok());
 }
 
+TEST(FrameTest, TruncationAtEveryBoundaryRejected) {
+  const auto frame = FramePayload({1, 2, 3, 4, 5, 6, 7});
+  // Every strict prefix of the frame — mid-length, mid-crc, mid-payload —
+  // must be rejected, never crash or mis-parse.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    const std::vector<uint8_t> cut(frame.begin(), frame.begin() + len);
+    auto back = UnframePayload(cut);
+    ASSERT_FALSE(back.ok()) << "prefix of " << len << " bytes accepted";
+    EXPECT_TRUE(back.status().IsCorruption());
+  }
+}
+
+TEST(FrameTest, OversizedLengthRejectedBeforeAllocation) {
+  auto frame = FramePayload({1, 2, 3});
+  // Corrupt the length prefix to claim an absurd payload (high bit set in
+  // the u64): the parse must fail on the declared length alone — if it
+  // tried to allocate or read that many bytes, this test would OOM/crash.
+  frame[7] = 0xFF;
+  auto back = UnframePayload(frame);
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST(FrameTest, ConfigurableMaxPayloadEnforced) {
+  const std::vector<uint8_t> payload(1024, 0x5A);
+  const auto frame = FramePayload(payload);
+  EXPECT_TRUE(UnframePayload(frame, /*max_payload=*/1024).ok());
+  auto back = UnframePayload(frame, /*max_payload=*/1023);
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST(FrameTest, EveryBitFlipCaught) {
+  const auto frame = FramePayload({0xDE, 0xAD, 0xBE, 0xEF});
+  // Flip each bit of the frame in turn; every corrupted frame must be
+  // rejected (length flips fail the size checks, payload flips fail the
+  // crc32c 100% at Hamming distance 1, crc flips fail the compare).
+  for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::vector<uint8_t> damaged = frame;
+    damaged[bit / 8] ^= uint8_t(1u << (bit % 8));
+    EXPECT_FALSE(UnframePayload(damaged).ok())
+        << "bit " << bit << " flip went undetected";
+  }
+}
+
+TEST(FrameTest, ReadFrameHeaderTruncatedAndOversized) {
+  const auto frame = FramePayload({9, 9, 9});
+  auto header =
+      ReadFrameHeader(frame.data(), frame.size(), kDefaultMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().payload_len, 3u);
+  EXPECT_FALSE(ReadFrameHeader(frame.data(), kFrameHeaderBytes - 1,
+                               kDefaultMaxFramePayload)
+                   .ok());
+  EXPECT_FALSE(ReadFrameHeader(frame.data(), frame.size(), 2).ok());
+}
+
 }  // namespace
 }  // namespace seep::serde

@@ -3,8 +3,8 @@
 
 The repo is layered (see DESIGN.md): each directory under src/ may only
 include headers from itself and from the layers listed in LAYER_DEPS. On
-top of the layer map, three seam rules protect the component interfaces
-introduced by the runtime decomposition:
+top of the layer map, five seam rules protect the component interfaces
+introduced by the runtime decomposition and the networking subsystem:
 
   * control-no-raw-network: src/control/ must not include sim/network.h.
     Coordinators act on the cluster through the Transport interface; a
@@ -14,6 +14,14 @@ introduced by the runtime decomposition:
     in src/runtime/ except cluster.h itself) must not include
     runtime/cluster.h. Components are wired by Cluster, they do not know
     it; headers forward-declare Cluster and only .cc files include it.
+  * net-isolation: src/net/ is a leaf I/O library that knows only bytes
+    and frames; it must never include runtime/, control/, cloud/ or sim/
+    headers. Message *bodies* are opaque to net; decoding them is the
+    transport's job.
+  * net-only-in-transport: outside src/net/ itself, only the Transport
+    implementations (src/runtime/transport.* and tcp_transport.*) may
+    include net/ headers. Everything else reaches the network through
+    the runtime::Transport seam, keeping the sim path byte-identical.
   * no-upward-dependency: a layer including a header from a higher layer
     (e.g. core including runtime/) — the generic layer-map check.
 
@@ -34,11 +42,12 @@ LAYER_DEPS = {
     "common": set(),
     "serde": {"common"},
     "sim": {"common"},
+    "net": {"common", "serde"},
     "cloud": {"common", "sim"},
     "core": {"common", "serde"},
     "verify": {"common", "serde", "core"},
     "workloads": {"common", "serde", "core"},
-    "runtime": {"common", "serde", "sim", "cloud", "core", "verify"},
+    "runtime": {"common", "serde", "sim", "net", "cloud", "core", "verify"},
     "control": {"common", "serde", "sim", "cloud", "core", "verify",
                 "runtime"},
     "sps": {"common", "serde", "sim", "cloud", "core", "verify", "runtime",
@@ -46,6 +55,17 @@ LAYER_DEPS = {
 }
 
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+
+# The only files outside src/net/ allowed to include net/ headers: the
+# Transport seam and its TCP implementation.
+NET_INCLUDE_ALLOWLIST = {
+    Path("runtime/transport.h"), Path("runtime/transport.cc"),
+    Path("runtime/tcp_transport.h"), Path("runtime/tcp_transport.cc"),
+}
+
+# Layers the net library must never see: anything that runs protocol
+# logic or the simulation. net ships opaque framed bytes, nothing more.
+NET_FORBIDDEN_TARGETS = {"runtime", "control", "cloud", "sim"}
 
 
 def quoted_includes(path):
@@ -82,6 +102,20 @@ def lint_tree(src_root):
                     "control-no-raw-network", where,
                     "coordinators must reach the network through the "
                     "Transport interface, never sim::Network directly"))
+            if layer == "net" and target in NET_FORBIDDEN_TARGETS:
+                violations.append((
+                    "net-isolation", where,
+                    "src/net/ ships opaque framed bytes; it must not "
+                    f"include '{inc}' — message bodies are decoded by "
+                    "the transport, above the seam"))
+            if layer != "net" and inc.startswith("net/") \
+                    and rel not in NET_INCLUDE_ALLOWLIST:
+                violations.append((
+                    "net-only-in-transport", where,
+                    "only the Transport implementations "
+                    "(runtime/transport.*, runtime/tcp_transport.*) may "
+                    "include net/ headers; everything else goes through "
+                    "the runtime::Transport seam"))
             if layer == "runtime" and path.suffix == ".h" \
                     and rel.name != "cluster.h" \
                     and inc == "runtime/cluster.h":
@@ -101,7 +135,8 @@ def self_test(repo_root):
         return 1
     found = {rule for rule, _, _ in lint_tree(fixtures)}
     expected = {"no-upward-dependency", "control-no-raw-network",
-                "component-no-cluster-header"}
+                "component-no-cluster-header", "net-isolation",
+                "net-only-in-transport"}
     missing = expected - found
     if missing:
         print("lint_layers self-test FAILED; rules that did not fire on "

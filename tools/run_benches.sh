@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Builds the benches in Release mode and runs the state hot-path
-# micro-benchmark, leaving BENCH_state_hot_paths.json in the repo root.
+# Builds the benches in Release mode and runs the state hot-path and net
+# transport micro-benchmarks, leaving BENCH_state_hot_paths.json and
+# BENCH_net_transport.json in the repo root.
 #
 # Usage: tools/run_benches.sh [extra bench binaries...]
-#   tools/run_benches.sh                         # hot-path bench only
+#   tools/run_benches.sh                         # default benches only
 #   tools/run_benches.sh bench_fig12_ckpt_interval bench_fig14_ckpt_overhead
 
 set -euo pipefail
@@ -12,10 +13,13 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-release"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_state_hot_paths "$@"
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target bench_state_hot_paths bench_net_transport "$@"
 
 "${build_dir}/bench/bench_state_hot_paths" \
     "${repo_root}/BENCH_state_hot_paths.json"
+"${build_dir}/bench/bench_net_transport" \
+    "${repo_root}/BENCH_net_transport.json"
 
 for bench in "$@"; do
   echo "==== ${bench} ===="
@@ -23,3 +27,4 @@ for bench in "$@"; do
 done
 
 echo "results: ${repo_root}/BENCH_state_hot_paths.json"
+echo "results: ${repo_root}/BENCH_net_transport.json"
