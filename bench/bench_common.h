@@ -82,6 +82,7 @@ struct RecoveryRun {
   double recovery_seconds = -1;
   double latency_p95_ms = 0;
   double latency_median_ms = 0;
+  double ckpt_pause_p99_ms = 0;
   uint64_t replayed = 0;
 };
 
@@ -89,7 +90,7 @@ inline RecoveryRun RunWordCountRecovery(
     runtime::FaultToleranceMode mode, double rate_tuples_per_sec,
     double checkpoint_interval_s, uint32_t recovery_parallelism = 1,
     double fail_at = 60, double total = 120, size_t vocabulary = 1000,
-    bool inject_failure = true) {
+    bool inject_failure = true, bool async_checkpoints = false) {
   workloads::wordcount::WordCountConfig wc;
   wc.rate_tuples_per_sec = rate_tuples_per_sec;
   wc.vocabulary = vocabulary;
@@ -102,6 +103,7 @@ inline RecoveryRun RunWordCountRecovery(
   config.scaling.enabled = false;
   config.recovery.parallelism = recovery_parallelism;
   config.cluster.pool.target_size = 3;
+  config.cluster.async_checkpoints = async_checkpoints;
 
   auto query = workloads::wordcount::BuildWordCountQuery(wc);
   sps::Sps sps(std::move(query.graph), config);
@@ -112,6 +114,7 @@ inline RecoveryRun RunWordCountRecovery(
   RecoveryRun out;
   out.latency_p95_ms = sps.metrics().latency_ms.Percentile(95);
   out.latency_median_ms = sps.metrics().latency_ms.Median();
+  out.ckpt_pause_p99_ms = sps.metrics().ckpt_pause_ms.Percentile(99);
   out.replayed = sps.metrics().tuples_replayed;
   for (const auto& r : sps.metrics().recoveries) {
     if (r.caught_up_at != 0) out.recovery_seconds = r.RecoverySeconds();

@@ -113,6 +113,14 @@ void ProcessingState::ApplyDelta(const ProcessingState& updated,
   sorted_ = true;
 }
 
+size_t ProcessingState::EncodedSize() const {
+  size_t total = serde::Encoder::VarintSize(entries_.size()) + bytes_;
+  for (const Entry& e : entries_) {
+    total += serde::Encoder::VarintSize(e.second.size());
+  }
+  return total;
+}
+
 void ProcessingState::Encode(serde::Encoder* enc) const {
   EnsureSorted();
   enc->AppendVarint64(entries_.size());
@@ -175,6 +183,24 @@ void InputPositions::UpperBoundWith(const InputPositions& other) {
     auto [it, inserted] = positions_.try_emplace(origin, ts);
     if (!inserted) it->second = std::max(it->second, ts);
   }
+}
+
+namespace {
+
+// Encoded size of AppendVarintSigned64(v): the zigzag-mapped varint.
+size_t SignedVarintSize(int64_t v) {
+  return serde::Encoder::VarintSize((static_cast<uint64_t>(v) << 1) ^
+                                    static_cast<uint64_t>(v >> 63));
+}
+
+}  // namespace
+
+size_t InputPositions::EncodedSize() const {
+  size_t total = serde::Encoder::VarintSize(positions_.size());
+  for (const auto& [origin, ts] : positions_) {
+    total += 8 + SignedVarintSize(ts);
+  }
+  return total;
 }
 
 void InputPositions::Encode(serde::Encoder* enc) const {
@@ -279,8 +305,16 @@ size_t BufferState::ByteSize() const {
   return n;
 }
 
+size_t BufferState::EncodedSize() const {
+  size_t total = serde::Encoder::VarintSize(buffers_.size());
+  for (const auto& [op, buf] : buffers_) {
+    total += 4 + serde::Encoder::VarintSize(buf.size()) + buf.ByteSize();
+  }
+  return total;
+}
+
 void BufferState::Encode(serde::Encoder* enc) const {
-  enc->Reserve(ByteSize() + 10 + 10 * buffers_.size());
+  enc->Reserve(EncodedSize());
   enc->AppendVarint64(buffers_.size());
   for (const auto& [op, buf] : buffers_) {
     enc->AppendFixed32(op);
@@ -339,8 +373,24 @@ size_t StateCheckpoint::ByteSize() const {
          buffer_front.size() * 12;
 }
 
+size_t StateCheckpoint::EncodedSize() const {
+  size_t total = 4 + 4 + 8 + 8 + 8;  // op, instance, origin, key range
+  total += SignedVarintSize(out_clock) + serde::Encoder::VarintSize(seq) +
+           SignedVarintSize(taken_at);
+  total += positions.EncodedSize() + processing.EncodedSize() +
+           buffer.EncodedSize();
+  total += 1 + serde::Encoder::VarintSize(base_seq);
+  total +=
+      serde::Encoder::VarintSize(deleted_keys.size()) + 8 * deleted_keys.size();
+  total += serde::Encoder::VarintSize(buffer_front.size());
+  for (const auto& [op_id, front] : buffer_front) {
+    total += 4 + SignedVarintSize(front);
+  }
+  return total;
+}
+
 void StateCheckpoint::Encode(serde::Encoder* enc) const {
-  enc->Reserve(ByteSize());
+  enc->Reserve(EncodedSize());
   enc->AppendFixed32(op);
   enc->AppendFixed32(instance);
   enc->AppendFixed64(origin);

@@ -53,6 +53,11 @@ class ProcessingState {
   /// Approximate in-memory footprint; checkpoint CPU cost scales with this.
   size_t ByteSize() const { return bytes_; }
 
+  /// Exact size of the Encode() output, without encoding: bytes_ already
+  /// counts 8 bytes per key plus the value bytes, so only the varint lengths
+  /// are summed — arithmetic only, no memory traffic.
+  size_t EncodedSize() const;
+
   /// Returns the subset of entries whose key falls in `range` — the core of
   /// Algorithm 2 line 5: θi ← {(k,v) ∈ θ : ki ≤ k < ki+1}. Binary-searches
   /// the sorted entries, so the cost is O(log n) plus the copied slice.
@@ -100,6 +105,9 @@ class InputPositions {
   }
 
   const std::map<OriginId, int64_t>& positions() const { return positions_; }
+
+  /// Exact size of the Encode() output, without encoding.
+  size_t EncodedSize() const;
 
   /// Element-wise minimum with `other`; used when merging states where the
   /// conservative (replay-more) direction is required.
@@ -209,6 +217,10 @@ class BufferState {
   size_t TotalTuples() const;
   size_t ByteSize() const;
 
+  /// Exact size of the Encode() output, without encoding. Tuple byte sizes
+  /// are maintained incrementally per buffer, so this is O(#buffers).
+  size_t EncodedSize() const;
+
   void Encode(serde::Encoder* enc) const;
   static Result<BufferState> Decode(serde::Decoder* dec);
 
@@ -286,6 +298,12 @@ struct StateCheckpoint {
   std::map<OperatorId, int64_t> buffer_front;
 
   size_t ByteSize() const;
+
+  /// Exact size of the Encode() output, without encoding — what Encode
+  /// reserves, and what the checkpoint pipeline's serialization stage uses
+  /// to size the frame in one allocation (no realloc churn on multi-MB
+  /// snapshots).
+  size_t EncodedSize() const;
 
   void Encode(serde::Encoder* enc) const;
   static Result<StateCheckpoint> Decode(serde::Decoder* dec);

@@ -25,7 +25,7 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
   Message msg;
   SEEP_ASSIGN_OR_RETURN(const uint8_t type, dec.ReadU8());
   if (type < static_cast<uint8_t>(MessageType::kHello) ||
-      type > static_cast<uint8_t>(MessageType::kControl)) {
+      type > static_cast<uint8_t>(MessageType::kCheckpointChunk)) {
     return Status::Corruption("unknown wire message type");
   }
   msg.type = static_cast<MessageType>(type);

@@ -19,6 +19,7 @@ enum class MessageType : uint8_t {
   kCheckpoint = 3,  // a checkpoint backup (background path, carries trim ack)
   kStateShip = 4,   // bulk state shipping (scale out / recovery)
   kControl = 5,     // free-form control messages
+  kCheckpointChunk = 6,  // one chunk of a serialized checkpoint frame
 };
 
 /// One message between two VM workers: a typed envelope plus an opaque body.

@@ -22,9 +22,28 @@ void CheckpointPlane::ScheduleTimer() {
       });
 }
 
-core::StateCheckpoint CheckpointPlane::MakeCheckpoint() {
+void CheckpointPlane::Suspend() {
+  suspended_ = true;
+  if (auto* audit = cluster_->audit()) {
+    audit->OnCheckpointsSuspended(inst_->id());
+  }
+}
+
+void CheckpointPlane::Resume() {
+  suspended_ = false;
+  if (auto* audit = cluster_->audit()) {
+    audit->OnCheckpointsResumed(inst_->id());
+  }
+}
+
+CheckpointCapture CheckpointPlane::Capture(bool delta) {
+  return delta ? CaptureDelta() : CaptureFull();
+}
+
+CheckpointCapture CheckpointPlane::CaptureFull() {
   core::Operator* op = inst_->operator_impl();
-  core::StateCheckpoint c;
+  CheckpointCapture cap;
+  core::StateCheckpoint& c = cap.ckpt;
   c.op = inst_->op();
   c.instance = inst_->id();
   c.origin = inst_->origin();
@@ -39,13 +58,95 @@ core::StateCheckpoint CheckpointPlane::MakeCheckpoint() {
     // next incremental checkpoint starts from this base.
     op->ClearStateDelta();
   }
-  const core::BufferState& buffer = inst_->buffer_state();
-  c.buffer = buffer;
-  for (const auto& [op_id, tuples] : buffer.buffers()) {
+  // The buffers themselves are not copied here: the capture records their
+  // extents (positions + precomputed counts/bytes), and the tuples are
+  // materialized or encoded by a later pipeline stage.
+  for (const auto& [op_id, tuples] : inst_->buffer_state().buffers()) {
+    BufferExtent extent;
+    extent.from_exclusive = INT64_MIN;
+    extent.back = tuples.empty() ? INT64_MIN : tuples.back().timestamp;
+    extent.tuples = tuples.size();
+    extent.bytes = tuples.ByteSize();
+    cap.extents[op_id] = extent;
     shipped_buffer_back_[op_id] =
         tuples.empty() ? inst_->out_clock() : tuples.back().timestamp;
   }
-  return c;
+  return cap;
+}
+
+CheckpointCapture CheckpointPlane::CaptureDelta() {
+  CheckpointCapture cap;
+  core::StateCheckpoint& c = cap.ckpt;
+  c.op = inst_->op();
+  c.instance = inst_->id();
+  c.origin = inst_->origin();
+  c.key_range = inst_->key_range();
+  c.out_clock = inst_->out_clock();
+  c.seq = ckpt_seq_ + 1;
+  c.base_seq = ckpt_seq_;
+  ++ckpt_seq_;
+  c.taken_at = cluster_->Now();
+  c.positions = inst_->positions();
+  c.is_delta = true;
+  // The operator's dirty-key tracking makes this O(changed keys): only
+  // entries written since the base checkpoint are captured.
+  core::StateDelta delta = inst_->operator_impl()->TakeProcessingStateDelta();
+  c.processing = std::move(delta.updated);
+  c.deleted_keys = std::move(delta.deleted);
+  // Buffer delta: the unshipped suffix past the last shipped timestamp,
+  // plus the current buffer fronts so the holder can mirror our trims.
+  // Buffers are timestamp-sorted, so the suffix starts at a binary search;
+  // only its sizes are summed here — the tuples are not copied.
+  for (const auto& [op_id, tuples] : inst_->buffer_state().buffers()) {
+    const int64_t shipped = [&] {
+      auto it = shipped_buffer_back_.find(op_id);
+      return it == shipped_buffer_back_.end() ? INT64_MIN : it->second;
+    }();
+    c.buffer_front[op_id] =
+        tuples.empty() ? inst_->out_clock() + 1 : tuples.front().timestamp;
+    BufferExtent extent;
+    extent.from_exclusive = shipped;
+    if (!tuples.empty() && tuples.back().timestamp > shipped) {
+      extent.back = tuples.back().timestamp;
+      auto it = tuples.UpperBound(shipped);
+      extent.tuples = static_cast<size_t>(tuples.end() - it);
+      for (; it != tuples.end(); ++it) extent.bytes += it->SerializedSize();
+    }
+    cap.extents[op_id] = extent;
+    shipped_buffer_back_[op_id] =
+        tuples.empty() ? inst_->out_clock() : tuples.back().timestamp;
+  }
+  return cap;
+}
+
+void CheckpointPlane::ShipAsync(CheckpointCapture cap) {
+  if (!inst_->alive() || inst_->stopped() || suspended_) {
+    // Clean abort: the capture is discarded before serialization. Its
+    // sequence number was consumed, so the holder's stored seq now trails
+    // ckpt_seq_ and CanCheckpointIncrementally forces the next checkpoint
+    // to be a full resync — no torn lineage.
+    ++cluster_->metrics()->async_ckpts_aborted;
+    if (auto* audit = cluster_->audit()) {
+      audit->OnAsyncCheckpointAborted(inst_->id(), cap.ckpt.seq);
+    }
+    return;
+  }
+  MaterializeCaptureBuffer(inst_->buffer_state(), &cap);
+  CkptSerializer::Job job;
+  job.owner = inst_->id();
+  job.owner_op = inst_->op();
+  job.vm = inst_->vm();
+  job.seq = cap.ckpt.seq;
+  job.captured_at = cap.ckpt.taken_at;
+  job.snapshot = std::move(cap.ckpt);
+  ++cluster_->metrics()->async_ckpt_captures;
+  cluster_->ckpt_serializer()->Submit(std::move(job));
+}
+
+core::StateCheckpoint CheckpointPlane::MakeCheckpoint() {
+  CheckpointCapture cap = CaptureFull();
+  MaterializeCaptureBuffer(inst_->buffer_state(), &cap);
+  return std::move(cap.ckpt);
 }
 
 bool CheckpointPlane::CanCheckpointIncrementally() const {
@@ -73,41 +174,9 @@ bool CheckpointPlane::CanCheckpointIncrementally() const {
 }
 
 core::StateCheckpoint CheckpointPlane::MakeDeltaCheckpoint() {
-  core::StateCheckpoint c;
-  c.op = inst_->op();
-  c.instance = inst_->id();
-  c.origin = inst_->origin();
-  c.key_range = inst_->key_range();
-  c.out_clock = inst_->out_clock();
-  c.seq = ckpt_seq_ + 1;
-  c.base_seq = ckpt_seq_;
-  ++ckpt_seq_;
-  c.taken_at = cluster_->Now();
-  c.positions = inst_->positions();
-  c.is_delta = true;
-  // The operator's dirty-key tracking makes this O(changed keys): only
-  // entries written since the base checkpoint are captured.
-  core::StateDelta delta = inst_->operator_impl()->TakeProcessingStateDelta();
-  c.processing = std::move(delta.updated);
-  c.deleted_keys = std::move(delta.deleted);
-  // Buffer delta: tuples beyond the last shipped timestamp, plus the
-  // current buffer fronts so the holder can mirror our trims. Buffers are
-  // timestamp-sorted, so the unshipped suffix starts at a binary search —
-  // the capture never rescans tuples already shipped with an earlier delta.
-  for (const auto& [op_id, tuples] : inst_->buffer_state().buffers()) {
-    const int64_t shipped = [&] {
-      auto it = shipped_buffer_back_.find(op_id);
-      return it == shipped_buffer_back_.end() ? INT64_MIN : it->second;
-    }();
-    c.buffer_front[op_id] =
-        tuples.empty() ? inst_->out_clock() + 1 : tuples.front().timestamp;
-    for (auto it = tuples.UpperBound(shipped); it != tuples.end(); ++it) {
-      c.buffer.Append(op_id, *it);
-    }
-    shipped_buffer_back_[op_id] =
-        tuples.empty() ? inst_->out_clock() : tuples.back().timestamp;
-  }
-  return c;
+  CheckpointCapture cap = CaptureDelta();
+  MaterializeCaptureBuffer(inst_->buffer_state(), &cap);
+  return std::move(cap.ckpt);
 }
 
 void CheckpointPlane::OnRestore(const core::StateCheckpoint& checkpoint) {

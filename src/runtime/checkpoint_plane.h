@@ -5,6 +5,7 @@
 
 #include "common/ids.h"
 #include "core/state.h"
+#include "runtime/ckpt_pipeline.h"
 
 namespace seep::runtime {
 
@@ -27,13 +28,26 @@ class CheckpointPlane {
   /// this instance's backed-up state: a fresher checkpoint landing
   /// mid-operation would trim upstream buffers past the restore point. (The
   /// paper's Algorithm 3 likewise never asks the overloaded operator to
-  /// checkpoint during its own scale out.)
-  void Suspend() { suspended_ = true; }
-  void Resume() { suspended_ = false; }
+  /// checkpoint during its own scale out.) Suspension also aborts in-flight
+  /// asynchronous checkpoints at their next pipeline stage boundary.
+  void Suspend();
+  void Resume();
   bool suspended() const { return suspended_; }
 
+  /// Stage 1 of the checkpoint pipeline: snapshots the processing state and
+  /// marks buffer extents without copying buffered tuples — the cheap pause.
+  /// Advances the sequence/shipped-buffer lineage exactly as the synchronous
+  /// snapshot does.
+  CheckpointCapture Capture(bool delta);
+
+  /// Hands a finished capture to the background serialization stage (stage
+  /// 2), or aborts it cleanly when the instance died, stopped or was
+  /// suspended while the capture job waited its service time; the next full
+  /// checkpoint's sequence-mismatch fallback heals the skipped delta.
+  void ShipAsync(CheckpointCapture cap);
+
   /// checkpoint-state(o) → (θo, τo, βo): synchronous snapshot, used by the
-  /// checkpoint job and by quiesced scale-in.
+  /// checkpoint job and by quiesced scale-in. Capture + materialize.
   core::StateCheckpoint MakeCheckpoint();
 
   /// Incremental variant: only the state entries changed since the previous
@@ -56,6 +70,8 @@ class CheckpointPlane {
 
  private:
   void ScheduleTimer();
+  CheckpointCapture CaptureFull();
+  CheckpointCapture CaptureDelta();
 
   Cluster* cluster_;
   OperatorInstance* inst_;

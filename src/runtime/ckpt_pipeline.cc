@@ -1,0 +1,303 @@
+#include "runtime/ckpt_pipeline.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "serde/block_codec.h"
+#include "serde/frame.h"
+
+namespace seep::runtime {
+
+namespace {
+
+// Buffer entries the capture encodes: a full capture keeps every live
+// buffer (including empty ones, which restore recreates); a delta keeps
+// only extents that actually carry tuples, matching MakeDeltaCheckpoint.
+size_t CapturedBufferEntries(const CheckpointCapture& cap) {
+  if (!cap.ckpt.is_delta) return cap.extents.size();
+  size_t n = 0;
+  for (const auto& [op_id, extent] : cap.extents) {
+    if (extent.tuples > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void MaterializeCaptureBuffer(const core::BufferState& live,
+                              CheckpointCapture* cap) {
+  if (cap->materialized) return;
+  cap->materialized = true;
+  if (!cap->ckpt.is_delta) {
+    // Full capture: the extents cover the whole live region, so a straight
+    // copy is both the cheapest and byte-identical to the old path.
+    cap->ckpt.buffer = live;
+    return;
+  }
+  for (const auto& [op_id, extent] : cap->extents) {
+    if (extent.tuples == 0) continue;
+    const core::TupleBuffer* buf = live.Get(op_id);
+    if (buf == nullptr) continue;
+    for (auto it = buf->UpperBound(extent.from_exclusive);
+         it != buf->end() && it->timestamp <= extent.back; ++it) {
+      cap->ckpt.buffer.Append(op_id, *it);
+    }
+  }
+}
+
+size_t CapturedEncodedSize(const CheckpointCapture& cap) {
+  SEEP_DCHECK(!cap.materialized);
+  // EncodedSize() of the unmaterialized checkpoint counts an empty buffer
+  // section; swap it for the captured one computed from the extents.
+  size_t total = cap.ckpt.EncodedSize() - cap.ckpt.buffer.EncodedSize();
+  total += serde::Encoder::VarintSize(CapturedBufferEntries(cap));
+  for (const auto& [op_id, extent] : cap.extents) {
+    if (cap.ckpt.is_delta && extent.tuples == 0) continue;
+    total += 4 + serde::Encoder::VarintSize(extent.tuples) + extent.bytes;
+  }
+  return total;
+}
+
+void EncodeCapturedCheckpoint(const core::BufferState& live,
+                              const CheckpointCapture& cap,
+                              serde::Encoder* enc) {
+  SEEP_CHECK(!cap.materialized);
+  const core::StateCheckpoint& c = cap.ckpt;
+  enc->Reserve(CapturedEncodedSize(cap));
+  // Field order mirrors StateCheckpoint::Encode exactly; keep in sync.
+  enc->AppendFixed32(c.op);
+  enc->AppendFixed32(c.instance);
+  enc->AppendFixed64(c.origin);
+  enc->AppendFixed64(c.key_range.lo);
+  enc->AppendFixed64(c.key_range.hi);
+  enc->AppendVarintSigned64(c.out_clock);
+  enc->AppendVarint64(c.seq);
+  enc->AppendVarintSigned64(c.taken_at);
+  c.positions.Encode(enc);
+  c.processing.Encode(enc);
+  // The buffer section streams straight from the live buffers.
+  enc->AppendVarint64(CapturedBufferEntries(cap));
+  for (const auto& [op_id, extent] : cap.extents) {
+    if (c.is_delta && extent.tuples == 0) continue;
+    enc->AppendFixed32(op_id);
+    enc->AppendVarint64(extent.tuples);
+    const core::TupleBuffer* buf = live.Get(op_id);
+    SEEP_CHECK(buf != nullptr);
+    if (c.is_delta) {
+      for (auto it = buf->UpperBound(extent.from_exclusive);
+           it != buf->end() && it->timestamp <= extent.back; ++it) {
+        it->Encode(enc);
+      }
+    } else {
+      for (const core::Tuple& t : *buf) t.Encode(enc);
+    }
+  }
+  enc->AppendU8(c.is_delta ? 1 : 0);
+  enc->AppendVarint64(c.base_seq);
+  enc->AppendVarint64(c.deleted_keys.size());
+  for (KeyHash k : c.deleted_keys) enc->AppendFixed64(k);
+  enc->AppendVarint64(c.buffer_front.size());
+  for (const auto& [op_id, front] : c.buffer_front) {
+    enc->AppendFixed32(op_id);
+    enc->AppendVarintSigned64(front);
+  }
+}
+
+// --------------------------------------------------------------- serializer
+
+CkptSerializer::CkptSerializer(sim::Simulation* sim, bool threaded,
+                               bool compress, SimTime pump_interval,
+                               CostFn cost, DoneFn on_done)
+    : sim_(sim),
+      threaded_(threaded),
+      compress_(compress),
+      pump_interval_(pump_interval),
+      cost_(std::move(cost)),
+      on_done_(std::move(on_done)) {}
+
+CkptSerializer::~CkptSerializer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [vm, ws] : workers_) ws->stop = true;
+  }
+  cv_.notify_all();
+  for (auto& [vm, ws] : workers_) {
+    if (ws->thread.joinable()) ws->thread.join();
+  }
+}
+
+SerializedCkptFrame CkptSerializer::BuildFrame(const Job& job, bool compress) {
+  serde::Encoder enc;
+  job.snapshot.Encode(&enc);  // Encode reserves EncodedSize() exactly
+  std::vector<uint8_t> payload = std::move(enc).TakeBuffer();
+
+  SerializedCkptFrame out;
+  out.owner = job.owner;
+  out.owner_op = job.owner_op;
+  out.seq = job.seq;
+  out.captured_at = job.captured_at;
+  out.raw_bytes = payload.size();
+  if (compress) {
+    std::vector<uint8_t> packed = serde::BlockCompress(payload);
+    if (packed.size() < payload.size()) {
+      payload = std::move(packed);
+      out.compressed = true;
+    }
+  }
+  out.frame = serde::FramePayload(payload);
+  return out;
+}
+
+void CkptSerializer::Submit(Job job) {
+  ++outstanding_;
+  if (!threaded_) {
+    // Deterministic deferral: charge the modeled serialization cost as a
+    // simulation delay, then build the frame inside the event. The closure
+    // must stay copyable, hence the shared_ptr.
+    const SimTime delay = cost_ ? cost_(job.snapshot) : 0;
+    auto shared = std::make_shared<Job>(std::move(job));
+    sim_->Schedule(delay, [this, shared]() {
+      --outstanding_;
+      on_done_(BuildFrame(*shared, compress_));
+    });
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<WorkerState>& ws = workers_[job.vm];
+    if (ws == nullptr) {
+      ws = std::make_unique<WorkerState>();
+      ws->thread = std::thread([this, w = ws.get()]() { WorkerLoop(w); });
+    }
+    ws->queue.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  if (!pump_scheduled_) {
+    pump_scheduled_ = true;
+    sim_->Schedule(pump_interval_, [this]() { Pump(); });
+  }
+}
+
+void CkptSerializer::Pump() {
+  std::deque<SerializedCkptFrame> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready.swap(done_);
+  }
+  for (SerializedCkptFrame& frame : ready) {
+    --outstanding_;
+    on_done_(std::move(frame));
+  }
+  // Keep polling only while work is in flight, so a quiesced simulation
+  // (RunAll) is not kept alive by an idle heartbeat.
+  if (outstanding_ > 0) {
+    sim_->Schedule(pump_interval_, [this]() { Pump(); });
+  } else {
+    pump_scheduled_ = false;
+  }
+}
+
+void CkptSerializer::WorkerLoop(WorkerState* ws) {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [ws]() { return ws->stop || !ws->queue.empty(); });
+      if (ws->stop && ws->queue.empty()) return;
+      job = std::move(ws->queue.front());
+      ws->queue.pop_front();
+    }
+    SerializedCkptFrame frame = BuildFrame(job, compress_);
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.push_back(std::move(frame));
+  }
+}
+
+// ------------------------------------------------------------------- chunks
+
+void EncodeChunkHeader(const CkptChunkHeader& h, serde::Encoder* enc) {
+  enc->AppendFixed32(h.owner);
+  enc->AppendFixed32(h.owner_op);
+  enc->AppendFixed32(h.holder);
+  enc->AppendVarint64(h.seq);
+  enc->AppendVarint64(h.index);
+  enc->AppendVarint64(h.count);
+  enc->AppendVarint64(h.frame_bytes);
+  enc->AppendVarint64(h.raw_bytes);
+  enc->AppendU8(h.compressed ? 1 : 0);
+}
+
+Result<CkptChunkHeader> DecodeChunkHeader(serde::Decoder* dec) {
+  CkptChunkHeader h;
+  SEEP_ASSIGN_OR_RETURN(h.owner, dec->ReadFixed32());
+  SEEP_ASSIGN_OR_RETURN(h.owner_op, dec->ReadFixed32());
+  SEEP_ASSIGN_OR_RETURN(h.holder, dec->ReadFixed32());
+  SEEP_ASSIGN_OR_RETURN(h.seq, dec->ReadVarint64());
+  uint64_t index, count;
+  SEEP_ASSIGN_OR_RETURN(index, dec->ReadVarint64());
+  SEEP_ASSIGN_OR_RETURN(count, dec->ReadVarint64());
+  if (index > UINT32_MAX || count > UINT32_MAX) {
+    return Status::Corruption("checkpoint chunk index out of range");
+  }
+  h.index = static_cast<uint32_t>(index);
+  h.count = static_cast<uint32_t>(count);
+  SEEP_ASSIGN_OR_RETURN(h.frame_bytes, dec->ReadVarint64());
+  SEEP_ASSIGN_OR_RETURN(h.raw_bytes, dec->ReadVarint64());
+  uint8_t compressed;
+  SEEP_ASSIGN_OR_RETURN(compressed, dec->ReadU8());
+  h.compressed = compressed != 0;
+  return h;
+}
+
+namespace {
+// Partial streams an overwhelmed or wedged holder keeps before evicting the
+// oldest; each costs at most one frame of memory.
+constexpr size_t kMaxPendingStreams = 64;
+}  // namespace
+
+std::optional<std::vector<uint8_t>> CkptChunkReassembler::OnChunk(
+    const CkptChunkHeader& h, const uint8_t* data, size_t n) {
+  if (h.count == 0 ||
+      h.frame_bytes > serde::kDefaultMaxFramePayload + serde::kFrameHeaderBytes)
+    return std::nullopt;
+  const Key key{h.owner, h.seq, h.holder};
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    if (h.index != 0) return std::nullopt;  // mid-stream chunk of a lost head
+    while (pending_.size() >= kMaxPendingStreams) {
+      pending_.erase(pending_.begin());
+    }
+    it = pending_.emplace(key, Pending{}).first;
+    it->second.count = h.count;
+    it->second.frame_bytes = h.frame_bytes;
+    it->second.frame.reserve(h.frame_bytes);
+  }
+  Pending& p = it->second;
+  if (h.index != p.next_index || h.count != p.count ||
+      h.frame_bytes != p.frame_bytes || p.frame.size() + n > p.frame_bytes) {
+    pending_.erase(it);  // corrupt stream: drop, next checkpoint supersedes
+    return std::nullopt;
+  }
+  p.frame.insert(p.frame.end(), data, data + n);
+  ++p.next_index;
+  if (p.next_index < p.count) return std::nullopt;
+  if (p.frame.size() != p.frame_bytes) {
+    pending_.erase(it);
+    return std::nullopt;
+  }
+  std::vector<uint8_t> frame = std::move(p.frame);
+  pending_.erase(it);
+  return frame;
+}
+
+void CkptChunkReassembler::ForgetThrough(InstanceId owner, uint64_t seq) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (std::get<0>(it->first) == owner && std::get<1>(it->first) <= seq) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace seep::runtime

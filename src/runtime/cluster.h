@@ -11,6 +11,7 @@
 #include "core/query_graph.h"
 #include "core/state.h"
 #include "runtime/backup_store.h"
+#include "runtime/ckpt_pipeline.h"
 #include "runtime/fence_registry.h"
 #include "runtime/membership.h"
 #include "runtime/metrics.h"
@@ -70,6 +71,21 @@ struct ClusterConfig {
   /// CPU cost of serialising/deserialising checkpoint state, µs per KiB on
   /// the reference core; drives the Fig. 14 overhead.
   double serialize_cost_us_per_kb = 25.0;
+
+  /// Asynchronous checkpoint pipeline: the operator pauses only for a cheap
+  /// capture; serialization/compression runs on a background stage and the
+  /// frame ships in chunks. Off by default — the synchronous path (and
+  /// every figure bench) is bit-for-bit unchanged.
+  bool async_checkpoints = false;
+  /// CPU cost of the capture pause (async pipeline), µs per KiB of
+  /// processing state — the O(dirty) snapshot, not serialization.
+  double capture_cost_us_per_kb = 1.0;
+  /// Chunk size for shipping serialized checkpoint frames: multi-MB frames
+  /// interleave with data batches at this granularity.
+  size_t checkpoint_chunk_bytes = 256u << 10;
+  /// Block-compress serialized checkpoint frames when it helps (the flag
+  /// travels per frame, so incompressible payloads ship raw).
+  bool compress_checkpoints = true;
 
   /// Whether backup holders are spread over upstream instances by hash
   /// (Algorithm 1 line 2). When false, every checkpoint goes to the first
@@ -132,6 +148,13 @@ class Cluster {
   /// Replay-fence registration and delivery.
   FenceRegistry* fences() { return &fences_; }
 
+  /// The background serialization stage of the async checkpoint pipeline
+  /// (one per cluster; per-VM workers inside).
+  CkptSerializer* ckpt_serializer() { return ckpt_serializer_.get(); }
+
+  /// Holder-side reassembly of chunked checkpoint frames.
+  CkptChunkReassembler* ckpt_reassembler() { return &ckpt_reassembler_; }
+
   /// The protocol invariant auditor, or null when auditing is off. Every
   /// component hook guards on this pointer, so audit-off deployments pay one
   /// branch per hook site.
@@ -188,6 +211,8 @@ class Cluster {
   Membership membership_;
   FenceRegistry fences_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<CkptSerializer> ckpt_serializer_;
+  CkptChunkReassembler ckpt_reassembler_;
   std::unique_ptr<verify::InvariantAuditor> auditor_;
 };
 

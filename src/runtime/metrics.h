@@ -71,6 +71,23 @@ class MetricsRegistry {
   uint64_t tuples_processed = 0;
   uint64_t source_saturated_ticks = 0;
 
+  // ---------------------------------------------- checkpoint pipeline
+  /// Operator pause per checkpoint job (capture only when async), ms.
+  SampleDistribution ckpt_pause_ms{1 << 16, /*seed=*/11};
+  /// Capture-to-stored latency of the whole pipeline, ms.
+  SampleDistribution ckpt_e2e_ms{1 << 16, /*seed=*/13};
+  /// Async captures handed to the background serialization stage.
+  uint64_t async_ckpt_captures = 0;
+  /// Checkpoint chunks delivered at backup holders.
+  uint64_t async_ckpt_chunks = 0;
+  /// In-flight async checkpoints aborted (owner died/stopped/suspended).
+  uint64_t async_ckpts_aborted = 0;
+  /// Serialized checkpoint payload bytes before / after compression.
+  uint64_t ckpt_raw_bytes = 0;
+  uint64_t ckpt_wire_bytes = 0;
+  /// Reassembled frames dropped for failing crc/decompress/decode.
+  uint64_t ckpt_decode_failures = 0;
+
   /// Sampling stride for latency_series_ms (1 sample per N sink tuples).
   uint32_t latency_series_stride = 64;
 };

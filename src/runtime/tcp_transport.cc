@@ -193,6 +193,87 @@ void TcpTransport::BackupCheckpoint(OperatorInstance* owner,
   impl_->Ship(owner->vm(), holder->vm(), msg);
 }
 
+CheckpointShipment TcpTransport::PrepareBackup(OperatorInstance* owner,
+                                               CheckpointCapture* capture) {
+  CheckpointShipment ship;
+  // ByteSize() of the unmaterialized capture counts an empty buffer; the
+  // extents carry the exact buffer bytes, so the sum equals the
+  // materialized checkpoint's ByteSize.
+  ship.logical_bytes = capture->ckpt.ByteSize();
+  for (const auto& entry : capture->extents) {
+    ship.logical_bytes += entry.second.bytes;
+  }
+  serde::Encoder enc;
+  EncodeCapturedCheckpoint(owner->buffer_state(), *capture, &enc);
+  ship.payload = std::move(enc).TakeBuffer();
+  return ship;
+}
+
+void TcpTransport::ShipBackup(OperatorInstance* owner,
+                              CheckpointShipment ship) {
+  const InstanceId holder_id = BackupHolderFor(owner);
+  if (holder_id == kInvalidInstance) return;  // no live upstream
+  OperatorInstance* holder = cluster_->membership()->GetInstance(holder_id);
+  SEEP_CHECK(holder != nullptr);
+
+  net::Message msg;
+  msg.type = net::MessageType::kCheckpoint;
+  msg.from_vm = owner->vm();
+  msg.to_vm = holder->vm();
+  serde::Encoder enc;
+  enc.AppendVarint64(owner->id());
+  enc.AppendVarint64(owner->op());
+  enc.AppendVarint64(holder_id);
+  enc.AppendVarint64(ship.logical_bytes);
+  enc.Reserve(ship.payload.size());
+  enc.AppendRaw(ship.payload.data(), ship.payload.size());
+  msg.body = std::move(enc).TakeBuffer();
+  impl_->Ship(owner->vm(), holder->vm(), msg);
+}
+
+void TcpTransport::ShipCheckpointFrame(OperatorInstance* owner,
+                                       SerializedCkptFrame frame) {
+  const InstanceId holder_id = BackupHolderFor(owner);
+  if (holder_id == kInvalidInstance) return;  // no live upstream
+  OperatorInstance* holder = cluster_->membership()->GetInstance(holder_id);
+  SEEP_CHECK(holder != nullptr);
+
+  const size_t chunk_bytes =
+      std::max<size_t>(1, cluster_->config().checkpoint_chunk_bytes);
+  const size_t total = frame.frame.size();
+  const uint32_t count =
+      static_cast<uint32_t>((total + chunk_bytes - 1) / chunk_bytes);
+
+  CkptChunkHeader header;
+  header.owner = frame.owner;
+  header.owner_op = frame.owner_op;
+  header.holder = holder_id;
+  header.seq = frame.seq;
+  header.count = count;
+  header.frame_bytes = total;
+  header.raw_bytes = frame.raw_bytes;
+  header.compressed = frame.compressed;
+
+  // One kCheckpointChunk message per chunk. The per-link TCP stream is
+  // FIFO, so chunks arrive in index order at the holder's pump, but data
+  // batches posted between them interleave freely.
+  for (uint32_t i = 0; i < count; ++i) {
+    header.index = i;
+    const size_t begin = static_cast<size_t>(i) * chunk_bytes;
+    const size_t len = std::min(chunk_bytes, total - begin);
+    net::Message msg;
+    msg.type = net::MessageType::kCheckpointChunk;
+    msg.from_vm = owner->vm();
+    msg.to_vm = holder->vm();
+    serde::Encoder enc;
+    EncodeChunkHeader(header, &enc);
+    enc.Reserve(len);
+    enc.AppendRaw(frame.frame.data() + begin, len);
+    msg.body = std::move(enc).TakeBuffer();
+    impl_->Ship(owner->vm(), holder->vm(), msg);
+  }
+}
+
 void TcpTransport::ShipState(VmId from, VmId to, uint64_t size_bytes,
                              std::function<void()> on_delivery) {
   const uint64_t id = ++impl_->next_ship_id;
@@ -280,6 +361,15 @@ void TcpTransport::Pump() {
             static_cast<OperatorId>(owner_op.value()),
             static_cast<InstanceId>(holder_id.value()), bytes.value(),
             std::move(ckpt).value());
+        break;
+      }
+      case net::MessageType::kCheckpointChunk: {
+        serde::Decoder dec(msg.body);
+        auto header = DecodeChunkHeader(&dec);
+        if (!header.ok()) break;
+        const uint8_t* data = msg.body.data() + dec.position();
+        const size_t n = msg.body.size() - dec.position();
+        DeliverCheckpointChunk(cluster_, header.value(), data, n);
         break;
       }
       case net::MessageType::kStateShip: {

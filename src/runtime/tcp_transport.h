@@ -56,6 +56,15 @@ class TcpTransport : public Transport {
   void BackupCheckpoint(OperatorInstance* owner,
                         core::StateCheckpoint ckpt) override;
   InstanceId BackupHolderFor(const OperatorInstance* owner) const override;
+  /// Encodes the checkpoint wire payload straight from the live buffers at
+  /// capture time — the synchronous path's buffer tuples go from the live
+  /// buffer to wire bytes in one pass, never through an intermediate
+  /// BufferState copy.
+  CheckpointShipment PrepareBackup(OperatorInstance* owner,
+                                   CheckpointCapture* capture) override;
+  void ShipBackup(OperatorInstance* owner, CheckpointShipment ship) override;
+  void ShipCheckpointFrame(OperatorInstance* owner,
+                           SerializedCkptFrame frame) override;
   void ShipState(VmId from, VmId to, uint64_t size_bytes,
                  std::function<void()> on_delivery) override;
 

@@ -1,5 +1,6 @@
 #include "runtime/transport.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -7,6 +8,9 @@
 #include "core/state_ops.h"
 #include "runtime/cluster.h"
 #include "runtime/operator_instance.h"
+#include "serde/block_codec.h"
+#include "serde/decoder.h"
+#include "serde/frame.h"
 
 namespace seep::runtime {
 
@@ -25,6 +29,7 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
                                uint64_t bytes, core::StateCheckpoint ckpt) {
   Membership* members = cluster->membership();
   MetricsRegistry* metrics = cluster->metrics();
+  const SimTime taken_at = ckpt.taken_at;
   OperatorInstance* h = members->GetInstance(holder_id);
   if (h == nullptr || !h->alive() || h->stopped()) return;
   OperatorInstance* o = members->GetInstance(owner_id);
@@ -70,6 +75,9 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
   }
   metrics->checkpoints_taken++;
   metrics->checkpoint_bytes += bytes;
+  // Capture-to-stored latency of the whole pipeline (sampling only; no
+  // effect on simulated behaviour).
+  metrics->ckpt_e2e_ms.Add(SimToMillis(cluster->Now() - taken_at));
 
   // Algorithm 1 line 4: acknowledge the checkpointed positions to all
   // upstream instances so they can trim their output buffers.
@@ -79,6 +87,82 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
       u->OnTrimAck(owner_op, owner_id, positions.Get(u->origin()));
     }
   }
+}
+
+CheckpointShipment Transport::PrepareBackup(OperatorInstance* owner,
+                                            CheckpointCapture* capture) {
+  MaterializeCaptureBuffer(owner->buffer_state(), capture);
+  CheckpointShipment ship;
+  ship.logical_bytes = capture->ckpt.ByteSize();
+  ship.ckpt =
+      std::make_unique<core::StateCheckpoint>(std::move(capture->ckpt));
+  return ship;
+}
+
+void Transport::ShipBackup(OperatorInstance* owner, CheckpointShipment ship) {
+  BackupCheckpoint(owner, std::move(*ship.ckpt));
+}
+
+void ShipSerializedCheckpoint(Cluster* cluster, SerializedCkptFrame frame) {
+  MetricsRegistry* metrics = cluster->metrics();
+  OperatorInstance* owner = cluster->GetInstance(frame.owner);
+  if (owner == nullptr || !owner->alive() || owner->stopped() ||
+      owner->checkpoints_suspended()) {
+    // The owner died, stopped or was suspended while the frame was being
+    // serialized: abort the in-flight checkpoint cleanly. Suspension case:
+    // the coordinator already chose an older backup as its restore point;
+    // this frame's trim acks would drop tuples that point still needs.
+    ++metrics->async_ckpts_aborted;
+    if (auto* audit = cluster->audit()) {
+      audit->OnAsyncCheckpointAborted(frame.owner, frame.seq);
+    }
+    return;
+  }
+  metrics->ckpt_raw_bytes += frame.raw_bytes;
+  metrics->ckpt_wire_bytes += frame.frame.size();
+  cluster->transport()->ShipCheckpointFrame(owner, std::move(frame));
+}
+
+void DeliverCheckpointChunk(Cluster* cluster, const CkptChunkHeader& header,
+                            const uint8_t* data, size_t n) {
+  MetricsRegistry* metrics = cluster->metrics();
+  ++metrics->async_ckpt_chunks;
+  if (auto* audit = cluster->audit()) {
+    audit->OnCheckpointChunk(header.owner, header.holder, header.seq,
+                             header.index, header.count, n,
+                             header.frame_bytes);
+  }
+  auto frame = cluster->ckpt_reassembler()->OnChunk(header, data, n);
+  if (!frame.has_value()) return;
+
+  // The frame is whole: unframe (crc32c), decompress, decode, deliver. A
+  // failure at any step drops the checkpoint — the owner's next one
+  // supersedes it, exactly like a frame lost to a link failure.
+  auto payload = serde::UnframePayload(*frame);
+  if (!payload.ok()) {
+    ++metrics->ckpt_decode_failures;
+    return;
+  }
+  std::vector<uint8_t> raw = std::move(payload).value();
+  if (header.compressed) {
+    auto unpacked = serde::BlockDecompress(raw, header.raw_bytes);
+    if (!unpacked.ok()) {
+      ++metrics->ckpt_decode_failures;
+      return;
+    }
+    raw = std::move(unpacked).value();
+  }
+  serde::Decoder dec(raw);
+  auto ckpt = core::StateCheckpoint::Decode(&dec);
+  if (!ckpt.ok()) {
+    ++metrics->ckpt_decode_failures;
+    return;
+  }
+  // A completed frame supersedes any partial stream it outranks.
+  cluster->ckpt_reassembler()->ForgetThrough(header.owner, header.seq);
+  const uint64_t bytes = ckpt.value().ByteSize();
+  DeliverCheckpointToHolder(cluster, header.owner, header.owner_op,
+                            header.holder, bytes, std::move(ckpt).value());
 }
 
 void SimTransport::AttachVm(VmId vm) { cluster_->network()->Attach(vm); }
@@ -129,6 +213,74 @@ void SimTransport::BackupCheckpoint(OperatorInstance* owner,
                                   bytes, std::move(*shared));
       },
       /*background=*/true);
+}
+
+namespace {
+
+/// One in-flight chunked frame ship on the sim backend. Background
+/// messages share no FIFO with each other (they only queue behind
+/// foreground traffic), so firing every chunk at once would deliver the
+/// short tail chunk first; instead chunk i+1 leaves only when chunk i is
+/// delivered — the stream stays in order, the frame trickles out behind
+/// data batches, and an owner dying mid-stream cuts it exactly at a chunk
+/// boundary (the partial stream is superseded by the next checkpoint).
+struct SimChunkStream {
+  Cluster* cluster = nullptr;
+  CkptChunkHeader header;  // index filled in per chunk
+  std::shared_ptr<SerializedCkptFrame> frame;
+  VmId owner_vm = kInvalidVm;
+  VmId holder_vm = kInvalidVm;
+  size_t chunk_bytes = 0;
+};
+
+void SendChunk(const std::shared_ptr<SimChunkStream>& stream, uint32_t index) {
+  CkptChunkHeader header = stream->header;
+  header.index = index;
+  const size_t total = stream->frame->frame.size();
+  const size_t begin = static_cast<size_t>(index) * stream->chunk_bytes;
+  const size_t len = std::min(stream->chunk_bytes, total - begin);
+  stream->cluster->network()->Send(
+      stream->owner_vm, stream->holder_vm, len,
+      [stream, header, begin, len]() {
+        DeliverCheckpointChunk(stream->cluster, header,
+                               stream->frame->frame.data() + begin, len);
+        if (header.index + 1 < header.count) {
+          SendChunk(stream, header.index + 1);
+        }
+      },
+      /*background=*/true);
+}
+
+}  // namespace
+
+void SimTransport::ShipCheckpointFrame(OperatorInstance* owner,
+                                       SerializedCkptFrame frame) {
+  const InstanceId holder_id = BackupHolderFor(owner);
+  if (holder_id == kInvalidInstance) return;  // no live upstream
+  OperatorInstance* holder = cluster_->membership()->GetInstance(holder_id);
+  SEEP_CHECK(holder != nullptr);
+
+  const size_t chunk_bytes =
+      std::max<size_t>(1, cluster_->config().checkpoint_chunk_bytes);
+  auto shared = std::make_shared<SerializedCkptFrame>(std::move(frame));
+  const size_t total = shared->frame.size();
+
+  auto stream = std::make_shared<SimChunkStream>();
+  stream->cluster = cluster_;
+  stream->header.owner = shared->owner;
+  stream->header.owner_op = shared->owner_op;
+  stream->header.holder = holder_id;
+  stream->header.seq = shared->seq;
+  stream->header.count =
+      static_cast<uint32_t>((total + chunk_bytes - 1) / chunk_bytes);
+  stream->header.frame_bytes = total;
+  stream->header.raw_bytes = shared->raw_bytes;
+  stream->header.compressed = shared->compressed;
+  stream->frame = std::move(shared);
+  stream->owner_vm = owner->vm();
+  stream->holder_vm = holder->vm();
+  stream->chunk_bytes = chunk_bytes;
+  SendChunk(stream, 0);
 }
 
 void SimTransport::ShipState(VmId from, VmId to, uint64_t size_bytes,

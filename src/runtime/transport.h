@@ -6,6 +6,7 @@
 #include "common/ids.h"
 #include "core/state.h"
 #include "core/tuple.h"
+#include "runtime/ckpt_pipeline.h"
 
 namespace seep::runtime {
 
@@ -59,6 +60,27 @@ class Transport {
   /// as the stored base.
   virtual InstanceId BackupHolderFor(const OperatorInstance* owner) const = 0;
 
+  /// Synchronous-checkpoint capture hook: turns a stage-1 capture into the
+  /// shipment ShipBackup sends once the checkpoint job's service time has
+  /// elapsed. Runs at capture time, before any trim can move the live
+  /// buffers. The default materializes the capture into a checkpoint
+  /// struct; the TCP backend overrides it to encode the wire payload
+  /// straight from the live buffers, skipping the intermediate buffer copy.
+  virtual CheckpointShipment PrepareBackup(OperatorInstance* owner,
+                                           CheckpointCapture* capture);
+
+  /// Ships a shipment built by PrepareBackup (holder choice happens here,
+  /// at ship time, exactly as BackupCheckpoint does). The default unwraps
+  /// the materialized checkpoint and delegates to BackupCheckpoint.
+  virtual void ShipBackup(OperatorInstance* owner, CheckpointShipment ship);
+
+  /// Stage 3 of the asynchronous pipeline: ships one serialized checkpoint
+  /// frame to the holder Algorithm 1 selects now, split into chunks of at
+  /// most the configured chunk size so multi-MB checkpoints interleave with
+  /// data batches instead of occupying a link in one burst.
+  virtual void ShipCheckpointFrame(OperatorInstance* owner,
+                                   SerializedCkptFrame frame) = 0;
+
   /// Bulk state shipping (partitioned checkpoints during scale out /
   /// recovery): `size_bytes` from VM `from` to VM `to`, then `on_delivery`.
   virtual void ShipState(VmId from, VmId to, uint64_t size_bytes,
@@ -81,6 +103,22 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
                                OperatorId owner_op, InstanceId holder_id,
                                uint64_t bytes, core::StateCheckpoint ckpt);
 
+/// The serializer's completion hook (driver thread): re-checks that the
+/// owner is still alive, running and unsuspended — an async checkpoint
+/// caught by Suspend()/failure between capture and serialization aborts
+/// here — then records compression metrics and hands the frame to the
+/// transport's chunked shipping. Shared by both backends.
+void ShipSerializedCheckpoint(Cluster* cluster, SerializedCkptFrame frame);
+
+/// Holder-side arrival of one checkpoint chunk (driver thread): audits the
+/// chunk stream, reassembles, and on completion unframes (crc32c),
+/// decompresses, decodes and delivers through DeliverCheckpointToHolder.
+/// Any decode failure drops the frame — the owner's next checkpoint
+/// supersedes it, exactly like a frame lost to a link failure. Shared by
+/// both backends so the wire differs but the protocol cannot.
+void DeliverCheckpointChunk(Cluster* cluster, const CkptChunkHeader& header,
+                            const uint8_t* data, size_t n);
+
 /// Transport over the deterministic `sim::Network`: batches pay the data
 /// path's bandwidth/latency; checkpoint shipping is throttled background
 /// traffic that must not delay the data path (the paper checkpoints
@@ -96,6 +134,8 @@ class SimTransport : public Transport {
   void BackupCheckpoint(OperatorInstance* owner,
                         core::StateCheckpoint ckpt) override;
   InstanceId BackupHolderFor(const OperatorInstance* owner) const override;
+  void ShipCheckpointFrame(OperatorInstance* owner,
+                           SerializedCkptFrame frame) override;
   void ShipState(VmId from, VmId to, uint64_t size_bytes,
                  std::function<void()> on_delivery) override;
 

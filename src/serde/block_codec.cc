@@ -1,0 +1,181 @@
+#include "serde/block_codec.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace seep::serde {
+
+namespace {
+
+// Positions hashed over 4-byte windows; 1 << 14 slots keeps the table in L1
+// while finding the long runs checkpoint payloads are made of.
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+// The last bytes of a block are always emitted as literals so the match
+// extension loop below never reads past the input end.
+constexpr size_t kTailLiterals = 12;
+
+uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Hash32(uint32_t v) {
+  // Fibonacci hashing on the 4-byte window.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(uint8_t(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(uint8_t(v));
+}
+
+// Nibble 15 means "add 255-run extension bytes until a byte < 255".
+void PutLength(std::vector<uint8_t>* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(uint8_t(len));
+}
+
+void EmitSequence(std::vector<uint8_t>* out, const uint8_t* literals,
+                  size_t lit_len, size_t offset, size_t match_len) {
+  const size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  const size_t match_extra = match_len == 0 ? 0 : match_len - kMinMatch;
+  const size_t match_nibble = match_extra < 15 ? match_extra : 15;
+  out->push_back(uint8_t((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutLength(out, lit_len - 15);
+  out->insert(out->end(), literals, literals + lit_len);
+  if (match_len == 0) return;  // final literals-only sequence
+  out->push_back(uint8_t(offset));
+  out->push_back(uint8_t(offset >> 8));
+  if (match_nibble == 15) PutLength(out, match_extra - 15);
+}
+
+}  // namespace
+
+std::vector<uint8_t> BlockCompress(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> out;
+  out.reserve(size / 2 + 16);
+  PutVarint(&out, size);
+  if (size <= kTailLiterals + kMinMatch) {
+    if (size > 0) EmitSequence(&out, data, size, 0, 0);
+    return out;
+  }
+  // table[h] holds position + 1; 0 means empty.
+  std::vector<uint32_t> table(kHashSize, 0);
+  const size_t match_limit = size - kTailLiterals;
+  size_t anchor = 0;
+  size_t i = 0;
+  while (i < match_limit) {
+    const uint32_t h = Hash32(Read32(data + i));
+    const size_t candidate = table[h] == 0 ? SIZE_MAX : table[h] - 1;
+    table[h] = uint32_t(i + 1);
+    if (candidate == SIZE_MAX || i - candidate > kMaxOffset ||
+        Read32(data + candidate) != Read32(data + i)) {
+      ++i;
+      continue;
+    }
+    size_t len = kMinMatch;
+    // Stop kTailLiterals-1 short of the end so the final literal run below
+    // is never empty and never read out of bounds.
+    const size_t extend_limit = size - (kTailLiterals - kMinMatch);
+    while (i + len < extend_limit && data[candidate + len] == data[i + len]) {
+      ++len;
+    }
+    EmitSequence(&out, data + anchor, i - anchor, i - candidate, len);
+    i += len;
+    anchor = i;
+  }
+  EmitSequence(&out, data + anchor, size - anchor, 0, 0);
+  return out;
+}
+
+std::vector<uint8_t> BlockCompress(const std::vector<uint8_t>& data) {
+  return BlockCompress(data.data(), data.size());
+}
+
+Result<std::vector<uint8_t>> BlockDecompress(const uint8_t* data, size_t size,
+                                             size_t max_output) {
+  size_t pos = 0;
+  // Varint uncompressed size, validated against max_output before any
+  // allocation is derived from it.
+  uint64_t raw_size = 0;
+  for (int shift = 0;; shift += 7) {
+    if (pos >= size || shift > 63) {
+      return Status::Corruption("block codec: bad size varint");
+    }
+    const uint8_t b = data[pos++];
+    raw_size |= uint64_t(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+  }
+  if (raw_size > max_output) {
+    return Status::Corruption("block codec: declared size exceeds limit");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(raw_size);
+
+  const auto read_length = [&](size_t nibble,
+                               size_t* len) -> Status {
+    *len = nibble;
+    if (nibble != 15) return Status::OK();
+    while (true) {
+      if (pos >= size) return Status::Corruption("block codec: truncated run");
+      const uint8_t b = data[pos++];
+      *len += b;
+      if (b != 255) return Status::OK();
+    }
+  };
+
+  while (pos < size) {
+    const uint8_t token = data[pos++];
+    size_t lit_len = 0;
+    SEEP_RETURN_IF_ERROR(read_length(token >> 4, &lit_len));
+    if (lit_len > size - pos) {
+      return Status::Corruption("block codec: literal overrun");
+    }
+    if (lit_len > raw_size - out.size()) {
+      return Status::Corruption("block codec: output overrun");
+    }
+    out.insert(out.end(), data + pos, data + pos + lit_len);
+    pos += lit_len;
+    if (pos == size) break;  // final literals-only sequence
+    if (size - pos < 2) {
+      return Status::Corruption("block codec: truncated offset");
+    }
+    const size_t offset = size_t(data[pos]) | (size_t(data[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("block codec: offset out of range");
+    }
+    size_t match_len = 0;
+    SEEP_RETURN_IF_ERROR(read_length(token & 0x0F, &match_len));
+    match_len += kMinMatch;
+    if (match_len > raw_size - out.size()) {
+      return Status::Corruption("block codec: match overrun");
+    }
+    // Byte-wise copy: overlapping back-references (offset < match_len)
+    // intentionally replicate the just-written bytes, like LZ4 runs.
+    size_t src = out.size() - offset;
+    for (size_t k = 0; k < match_len; ++k) out.push_back(out[src + k]);
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption("block codec: size mismatch");
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> BlockDecompress(const std::vector<uint8_t>& data,
+                                             size_t max_output) {
+  return BlockDecompress(data.data(), data.size(), max_output);
+}
+
+}  // namespace seep::serde

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -105,6 +106,32 @@ class InvariantAuditor {
   void OnCheckpointStored(InstanceId owner, VmId owner_vm, InstanceId holder,
                           VmId holder_vm, uint64_t seq);
 
+  // --------------------------------------- asynchronous checkpoint pipeline
+
+  /// One chunk of `owner`'s serialized checkpoint frame seq `seq` arrived at
+  /// `holder`. Asserts chunk-reassembly: per (owner, seq, holder) stream the
+  /// indices arrive in order 0..count-1, every chunk declares the same
+  /// count/frame_bytes, and the chunk bytes sum to exactly frame_bytes at
+  /// the last chunk — so a reassembled frame can never be a silent splice of
+  /// two different checkpoints.
+  void OnCheckpointChunk(InstanceId owner, InstanceId holder, uint64_t seq,
+                         uint32_t index, uint32_t count, uint64_t chunk_bytes,
+                         uint64_t frame_bytes);
+
+  /// Checkpointing of `instance` was suspended/resumed by a coordinator.
+  /// While suspended, OnCheckpointStored for that owner trips
+  /// no-store-while-suspended: the coordinator chose an older backup as its
+  /// restore point, and a fresher store's trim acks would drop tuples that
+  /// restore point still needs replayed.
+  void OnCheckpointsSuspended(InstanceId instance);
+  void OnCheckpointsResumed(InstanceId instance);
+
+  /// An in-flight asynchronous checkpoint of `owner` seq `seq` was aborted
+  /// (owner died, stopped, or was suspended between pipeline stages). The
+  /// aborted sequence must never be stored later — OnCheckpointStored trips
+  /// aborted-checkpoint-stored if it is.
+  void OnAsyncCheckpointAborted(InstanceId owner, uint64_t seq);
+
   // ----------------------------------------- Algorithm 2: partitioned state
 
   /// Routing for `down_op` was (re)installed. Asserts route-tiling: the
@@ -178,6 +205,19 @@ class InvariantAuditor {
   std::map<PeerKey, std::map<InstanceId, int64_t>> sent_;
   std::map<PeerKey, int64_t> last_trim_;
   std::map<InstanceId, uint64_t> last_stored_seq_;
+
+  // Checkpoint-pipeline mirrors.
+  struct ChunkStream {
+    uint32_t next_index = 0;
+    uint32_t count = 0;
+    uint64_t frame_bytes = 0;
+    uint64_t received = 0;
+  };
+  // (owner, seq, holder) → progress of the chunk stream.
+  std::map<std::tuple<InstanceId, uint64_t, InstanceId>, ChunkStream>
+      chunk_streams_;
+  std::set<InstanceId> suspended_;
+  std::set<std::pair<InstanceId, uint64_t>> aborted_ckpts_;
 
   // Algorithm 2 mirror (for the level-2 whole-table sweep).
   std::map<OperatorId, std::vector<core::RoutingState::Route>> routes_;

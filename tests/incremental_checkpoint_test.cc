@@ -170,11 +170,15 @@ struct IncrementalOutcome {
   uint64_t checkpoint_bytes = 0;
   uint64_t delta_checkpoints = 0;
   uint64_t delta_failures = 0;
+  uint64_t async_captures = 0;
+  uint64_t async_aborted = 0;
+  uint64_t decode_failures = 0;
   double recovery_seconds = -1;
 };
 
 IncrementalOutcome RunIncremental(bool incremental, bool fail,
-                                  double scale_out_at = 0) {
+                                  double scale_out_at = 0,
+                                  bool async = false) {
   WordCountConfig wc;
   wc.rate_tuples_per_sec = 100;
   // Large dictionary relative to the per-interval word sample: most
@@ -185,6 +189,7 @@ IncrementalOutcome RunIncremental(bool incremental, bool fail,
   sps::SpsConfig config;
   config.cluster.checkpoint_interval = SecondsToSim(5);
   config.cluster.incremental_checkpoints = incremental;
+  config.cluster.async_checkpoints = async;
   config.cluster.pool.target_size = 4;
   config.scaling.enabled = false;
 
@@ -201,6 +206,9 @@ IncrementalOutcome RunIncremental(bool incremental, bool fail,
   out.checkpoint_bytes = sps.metrics().checkpoint_bytes;
   out.delta_checkpoints = sps.metrics().delta_checkpoints_taken;
   out.delta_failures = sps.metrics().delta_apply_failures;
+  out.async_captures = sps.metrics().async_ckpt_captures;
+  out.async_aborted = sps.metrics().async_ckpts_aborted;
+  out.decode_failures = sps.metrics().ckpt_decode_failures;
   for (const auto& r : sps.metrics().recoveries) {
     if (r.caught_up_at != 0) out.recovery_seconds = r.RecoverySeconds();
   }
@@ -244,6 +252,46 @@ TEST(IncrementalEndToEnd, ScaleOutContinuesDeltaLineage) {
   EXPECT_EQ(UpTo(baseline.counts, 3), UpTo(scaled.counts, 3));
   EXPECT_EQ(scaled.delta_failures, 0u);
   // After restore, partitions resume incremental checkpointing.
+  EXPECT_GT(scaled.delta_checkpoints, 10u);
+}
+
+// ---------------------------------------- async pipeline x incremental
+
+TEST(IncrementalEndToEnd, AsyncDeltaPipelineMatchesSyncResults) {
+  // Delta admissibility must hold while earlier frames are still in the
+  // background serializer: every interval's capture advances the lineage
+  // synchronously, so deltas keep flowing and apply cleanly at the holder.
+  const IncrementalOutcome sync = RunIncremental(true, false);
+  const IncrementalOutcome async =
+      RunIncremental(true, false, /*scale_out_at=*/0, /*async=*/true);
+  EXPECT_GT(async.async_captures, 10u);
+  EXPECT_GT(async.delta_checkpoints, 10u);
+  EXPECT_EQ(async.delta_failures, 0u);
+  EXPECT_EQ(async.decode_failures, 0u);
+  EXPECT_EQ(sync.counts, async.counts);
+}
+
+TEST(IncrementalEndToEnd, AsyncRecoveryFromDeltaChainIsExact) {
+  const IncrementalOutcome baseline = RunIncremental(true, false);
+  const IncrementalOutcome failed =
+      RunIncremental(true, true, /*scale_out_at=*/0, /*async=*/true);
+  EXPECT_GT(failed.recovery_seconds, 0);
+  EXPECT_EQ(failed.delta_failures, 0u);
+  EXPECT_EQ(UpTo(baseline.counts, 3), UpTo(failed.counts, 3));
+}
+
+TEST(IncrementalEndToEnd, AsyncScaleOutAbortsInFlightWorkCleanly) {
+  // Scale-out suspends the partitioned instance's checkpointing; any
+  // capture or frame caught between pipeline stages must abort without a
+  // stale store (the level-1 auditor's no-store-while-suspended and
+  // aborted-checkpoint-stored invariants police this), and the post-restore
+  // lineage must keep producing exact results.
+  const IncrementalOutcome baseline = RunIncremental(true, false);
+  const IncrementalOutcome scaled =
+      RunIncremental(true, false, /*scale_out_at=*/52.0, /*async=*/true);
+  EXPECT_EQ(UpTo(baseline.counts, 3), UpTo(scaled.counts, 3));
+  EXPECT_EQ(scaled.delta_failures, 0u);
+  EXPECT_EQ(scaled.decode_failures, 0u);
   EXPECT_GT(scaled.delta_checkpoints, 10u);
 }
 

@@ -1,0 +1,3 @@
+// Fixture: checkpoint pipeline worker code reaching into net/ directly
+// instead of handing frames back through the runtime::Transport seam.
+#include "net/wire.h"

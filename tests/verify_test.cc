@@ -122,6 +122,93 @@ TEST(AuditorCheckpointTest, StaleSequenceTripsSeqMonotonicity) {
   EXPECT_EQ(c.names[0], "checkpoint-seq-monotonicity");
 }
 
+// -------------------------------------------- async checkpoint pipeline
+
+TEST(AuditorCheckpointTest, StoreWhileSuspendedTripsNoStoreWhileSuspended) {
+  Collector c;
+  c.audit.OnCheckpointStored(kA, 4, kB, 5, 1);
+  c.audit.OnCheckpointsSuspended(kA);
+  // A straggler frame (e.g. from the background serializer) lands while the
+  // coordinator holds the owner suspended: its trim acks would outrun the
+  // older restore point the coordinator is partitioning.
+  c.audit.OnCheckpointStored(kA, 4, kB, 5, 2);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "no-store-while-suspended");
+  c.names.clear();
+  c.audit.OnCheckpointsResumed(kA);
+  c.audit.OnCheckpointStored(kA, 4, kB, 5, 3);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorCheckpointTest, AbortedSequenceStoredTripsAbortedCheckpoint) {
+  Collector c;
+  c.audit.OnCheckpointStored(kA, 4, kB, 5, 1);
+  c.audit.OnAsyncCheckpointAborted(kA, 2);
+  // The abort consumed seq 2; a frame claiming it must never be stored.
+  c.audit.OnCheckpointStored(kA, 4, kB, 5, 2);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "aborted-checkpoint-stored");
+}
+
+TEST(AuditorCheckpointTest, ResumeClearsAbortMarkersForRewoundLineage) {
+  Collector c;
+  c.audit.OnCheckpointsSuspended(kA);
+  c.audit.OnAsyncCheckpointAborted(kA, 5);
+  c.audit.OnCheckpointsResumed(kA);
+  // A restore during the suspension rewinds the owner's lineage, so seq 5
+  // may be legitimately reused by a fresh post-resume checkpoint.
+  c.audit.OnCheckpointStored(kA, 4, kB, 5, 5);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorChunkTest, InOrderStreamWithExactByteSumIsClean) {
+  Collector c;
+  c.audit.OnCheckpointChunk(kA, kB, /*seq=*/1, /*index=*/0, /*count=*/2,
+                            /*chunk_bytes=*/60, /*frame_bytes=*/100);
+  c.audit.OnCheckpointChunk(kA, kB, 1, 1, 2, 40, 100);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorChunkTest, HeadlessStreamTripsChunkReassembly) {
+  Collector c;
+  c.audit.OnCheckpointChunk(kA, kB, 1, /*index=*/1, 2, 40, 100);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "chunk-reassembly");
+}
+
+TEST(AuditorChunkTest, IndexGapTripsChunkReassembly) {
+  Collector c;
+  c.audit.OnCheckpointChunk(kA, kB, 1, 0, 3, 30, 100);
+  c.audit.OnCheckpointChunk(kA, kB, 1, 2, 3, 30, 100);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "chunk-reassembly");
+}
+
+TEST(AuditorChunkTest, InconsistentDeclarationsTripChunkReassembly) {
+  Collector c;
+  c.audit.OnCheckpointChunk(kA, kB, 1, 0, 2, 60, 100);
+  c.audit.OnCheckpointChunk(kA, kB, 1, 1, 2, 40, 120);  // frame size changed
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "chunk-reassembly");
+}
+
+TEST(AuditorChunkTest, ByteSumMismatchTripsChunkReassembly) {
+  Collector c;
+  c.audit.OnCheckpointChunk(kA, kB, 1, 0, 2, 60, 100);
+  c.audit.OnCheckpointChunk(kA, kB, 1, 1, 2, 20, 100);  // 80 != 100 at close
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "chunk-reassembly");
+}
+
+TEST(AuditorChunkTest, ConcurrentStreamsFromDistinctOwnersStayIndependent) {
+  Collector c;
+  c.audit.OnCheckpointChunk(kA, kB, 1, 0, 2, 50, 100);
+  c.audit.OnCheckpointChunk(/*owner=*/9, kB, 1, 0, 2, 50, 100);
+  c.audit.OnCheckpointChunk(kA, kB, 1, 1, 2, 50, 100);
+  c.audit.OnCheckpointChunk(9, kB, 1, 1, 2, 50, 100);
+  EXPECT_TRUE(c.names.empty());
+}
+
 core::RoutingState::Route Route(uint64_t lo, uint64_t hi, InstanceId id) {
   return {core::KeyRange{lo, hi}, id};
 }

@@ -22,6 +22,11 @@ introduced by the runtime decomposition and the networking subsystem:
     implementations (src/runtime/transport.* and tcp_transport.*) may
     include net/ headers. Everything else reaches the network through
     the runtime::Transport seam, keeping the sim path byte-identical.
+  * ckpt-worker-no-net: the checkpoint pipeline's background worker code
+    (src/runtime/ckpt_*) must not include net/ headers. Serialization
+    workers run off the driver thread and hand frames back through the
+    Transport seam; a worker writing sockets directly would bypass both
+    the per-link FIFO the chunk protocol assumes and the audit hooks.
   * no-upward-dependency: a layer including a header from a higher layer
     (e.g. core including runtime/) — the generic layer-map check.
 
@@ -108,6 +113,13 @@ def lint_tree(src_root):
                     "src/net/ ships opaque framed bytes; it must not "
                     f"include '{inc}' — message bodies are decoded by "
                     "the transport, above the seam"))
+            if layer == "runtime" and rel.name.startswith("ckpt_") \
+                    and inc.startswith("net/"):
+                violations.append((
+                    "ckpt-worker-no-net", where,
+                    "checkpoint pipeline worker code must not touch net/ "
+                    "directly; frames reach the wire through the "
+                    "runtime::Transport seam"))
             if layer != "net" and inc.startswith("net/") \
                     and rel not in NET_INCLUDE_ALLOWLIST:
                 violations.append((
@@ -136,7 +148,7 @@ def self_test(repo_root):
     found = {rule for rule, _, _ in lint_tree(fixtures)}
     expected = {"no-upward-dependency", "control-no-raw-network",
                 "component-no-cluster-header", "net-isolation",
-                "net-only-in-transport"}
+                "net-only-in-transport", "ckpt-worker-no-net"}
     missing = expected - found
     if missing:
         print("lint_layers self-test FAILED; rules that did not fire on "

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the benches in Release mode and runs the state hot-path and net
-# transport micro-benchmarks, leaving BENCH_state_hot_paths.json and
-# BENCH_net_transport.json in the repo root.
+# Builds the benches in Release mode and runs the state hot-path, net
+# transport and checkpoint pipeline benchmarks, leaving
+# BENCH_state_hot_paths.json, BENCH_net_transport.json and
+# BENCH_ckpt_pipeline.json in the repo root.
 #
 # Usage: tools/run_benches.sh [extra bench binaries...]
 #   tools/run_benches.sh                         # default benches only
@@ -14,12 +15,14 @@ build_dir="${repo_root}/build-release"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_state_hot_paths bench_net_transport "$@"
+  --target bench_state_hot_paths bench_net_transport bench_ckpt_pipeline "$@"
 
 "${build_dir}/bench/bench_state_hot_paths" \
     "${repo_root}/BENCH_state_hot_paths.json"
 "${build_dir}/bench/bench_net_transport" \
     "${repo_root}/BENCH_net_transport.json"
+"${build_dir}/bench/bench_ckpt_pipeline" \
+    "${repo_root}/BENCH_ckpt_pipeline.json"
 
 for bench in "$@"; do
   echo "==== ${bench} ===="
@@ -28,3 +31,4 @@ done
 
 echo "results: ${repo_root}/BENCH_state_hot_paths.json"
 echo "results: ${repo_root}/BENCH_net_transport.json"
+echo "results: ${repo_root}/BENCH_ckpt_pipeline.json"
