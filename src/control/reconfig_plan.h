@@ -1,0 +1,205 @@
+#ifndef SEEP_CONTROL_RECONFIG_PLAN_H_
+#define SEEP_CONTROL_RECONFIG_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/key_range.h"
+#include "core/state.h"
+#include "runtime/cluster.h"
+
+namespace seep::control {
+
+/// Stage vocabulary of the reconfiguration plane. Every reconfiguration —
+/// scale out, scale in, and all three recovery modes — is an ordered subset
+/// of these stages. The paper's central claim ("operator recovery becomes a
+/// special case of scale out", §4.2) is made literal here: the coordinators
+/// only choose which stages to compose and with which policy parameters; the
+/// stage mechanics are shared.
+enum class StageKind {
+  kQuiesce,            ///< freeze checkpoint schedules / pause + drain
+  kAcquireVms,         ///< obtain VMs from the pool (Algorithm 3 line 4)
+  kFetchAndPartition,  ///< retrieve the backup and split it (Algorithm 2)
+  kMerge,              ///< capture + merge partition checkpoints (scale in)
+  kShip,               ///< move partitioned state to the new VMs + restore
+  kRestore,            ///< hand over: replacements live, old instance stops
+  kReroute,            ///< retire old instances, install the new routes
+  kSeedAcksAndReplay,  ///< seed acks, register fences, replay buffers
+  kCommit,             ///< record metrics; the plan is irrevocable
+};
+
+/// Stable display name of a stage (metrics, logs, deadline statuses).
+const char* StageKindName(StageKind kind);
+
+/// Shared mutable state of one running plan. The policy driver (coordinator)
+/// fills in the inputs; stages communicate through the progress fields, in
+/// stage order. Continuations that outlive an event (pool grants, shipped
+/// state deliveries, drain polls) hold the context via shared_ptr and check
+/// `active` so work landing after an abort resolves safely.
+struct PlanContext {
+  runtime::Cluster* cluster = nullptr;  // set by the executor
+  uint64_t plan_id = 0;                 // set by the executor
+  OperatorId op = 0;                    // set by the executor from the plan
+  bool active = true;                   // false once committed or aborted
+
+  // ------------------------------------------------------- policy inputs
+  /// Scale out: the partitioned parent. Recovery: the failed instance.
+  InstanceId target = kInvalidInstance;
+  uint32_t pi = 1;
+  bool recovery = false;
+  bool balanced_split = true;
+  SimTime control_delay = 0;
+  /// Key range of the replacement deployed by DeployReplacementStage
+  /// (upstream-backup / source-replay recovery).
+  core::KeyRange replacement_range;
+
+  // ----------------------------------------------------------- progress
+  size_t partitions_before = 0;
+  /// Instances whose checkpoint schedule this plan froze (quiesce).
+  std::vector<InstanceId> suspended;
+  /// Upstream instances this plan paused before the point of no return.
+  std::vector<InstanceId> paused_upstreams;
+  /// VMs acquired from the pool and not yet consumed by a deployment.
+  std::vector<VmId> vms;
+  core::StateCheckpoint base;
+  bool have_backup = false;
+  bool inherit_origin = false;
+  InstanceId holder = kInvalidInstance;
+  SimTime partition_delay = 0;
+  std::shared_ptr<std::vector<core::StateCheckpoint>> parts;
+  /// Instances this plan deployed (new partitions / the replacement).
+  std::vector<InstanceId> new_ids;
+  /// Upstream instances captured at the reroute stage.
+  std::vector<InstanceId> upstreams;
+  /// Scale in: the two adjacent partitions being merged.
+  InstanceId merge_a = kInvalidInstance;
+  InstanceId merge_b = kInvalidInstance;
+  std::shared_ptr<core::StateCheckpoint> merged;
+
+  // -------------------------------------------------- policy observers
+  std::function<void(SimTime)> on_restored;
+  std::function<void(SimTime)> on_caught_up;
+};
+
+/// Reports the stage outcome to the executor, exactly once. OK advances the
+/// plan; any error aborts it and runs compensations.
+using StageDone = std::function<void(Status)>;
+
+/// One plan stage: a forward action paired with a compensation and an
+/// optional deadline. On any stage failure or deadline expiry the executor
+/// runs the compensations of the failed stage and every completed stage in
+/// reverse order; compensations are synchronous and idempotent over partial
+/// forward progress (a stage that failed halfway is undone by the same
+/// compensation as one that never started).
+struct ReconfigStage {
+  StageKind kind = StageKind::kCommit;
+  /// 0 disables the deadline. Otherwise, if the stage has not completed
+  /// `deadline` after it started, it fails with a retryable status. Defaults
+  /// are far beyond anything a healthy reconfiguration takes, so fault-free
+  /// runs never observe a timer firing.
+  SimTime deadline = 0;
+  std::function<void(const std::shared_ptr<PlanContext>&, StageDone)> forward;
+  std::function<void(PlanContext&)> compensate;
+};
+
+/// An ordered list of stages over a shared context — the unit the executor
+/// runs. Built by the coordinators, executed by ReconfigExecutor.
+struct ReconfigPlan {
+  OperatorId op = 0;
+  const char* label = "";
+  std::shared_ptr<PlanContext> ctx;
+  std::vector<ReconfigStage> stages;
+};
+
+// --------------------------------------------------------------------------
+// Stage factories. All membership mutation (DeployInstance, RetireInstance)
+// and route installation lives here, behind the stage seam — coordinators
+// compose these, they do not touch the mechanism (enforced by the
+// coordinator-via-plan-only lint rule).
+
+/// Freezes the scale-out target's checkpoint schedule (graceful only; a
+/// recovery target is dead and cannot checkpoint). Compensation resumes
+/// every schedule the plan froze on still-live instances.
+ReconfigStage QuiesceTargetStage();
+
+/// Acquires `count` VMs from the pool, after an optional control delay.
+/// Compensation releases every acquired-but-unconsumed VM; grants landing
+/// after an abort are released on arrival (the pool has no cancel).
+ReconfigStage AcquireVmsStage(uint32_t count, SimTime pre_delay,
+                              SimTime deadline);
+
+/// Algorithm 3 lines 1-3 + Algorithm 2: retrieves the most recent backup of
+/// the target (or synthesizes an empty base for a recovery without one),
+/// partitions it, and deploys pi new instances on the acquired VMs.
+/// Compensation retires every deployed instance and releases its VM.
+ReconfigStage FetchAndPartitionStage();
+
+/// Ships each partition checkpoint from the holder to its new VM and
+/// restores + starts it there (initial backups stored at the holder,
+/// Algorithm 2 line 8). Completes when all pi partitions restored; the
+/// deadline converts a never-arriving delivery (holder or new VM died
+/// mid-ship) into an abort instead of a hang.
+ReconfigStage ShipStage(SimTime deadline);
+
+/// The scale-out handover (point of no return): the restored buffer replays
+/// downstream, the parent stops and the new partitions inherit its
+/// suppression positions. No stage after this one can fail.
+ReconfigStage HandoverStage();
+
+/// After a control delay: finalizes the parent's retirement, pauses
+/// upstreams and installs the new routing (Algorithm 3 lines 9-11).
+ReconfigStage RerouteStage();
+
+/// Seeds acknowledgement positions, registers the catch-up fence, replays
+/// upstream buffers and resumes them (Algorithm 3 lines 12-14).
+ReconfigStage SeedAcksAndReplayStage();
+
+/// Records the ScaleOutEvent metric (graceful only) and commits.
+ReconfigStage CommitScaleOutStage();
+
+/// Scale in: freezes both merge partners' checkpoints, pauses upstreams and
+/// polls until both partitions drained. Compensation resumes the paused
+/// upstreams and the surviving partners' checkpoint schedules.
+ReconfigStage QuiesceAndDrainStage(SimTime deadline);
+
+/// Captures consistent checkpoints of both drained partners and merges them
+/// (paper §3.3's merge primitive).
+ReconfigStage MergeStage();
+
+/// Deploys the merged partition on the acquired VM, restores and starts it.
+ReconfigStage DeployMergedStage();
+
+/// Retires both merge partners (releasing their VMs) and installs routes.
+ReconfigStage RerouteMergedStage();
+
+/// Seeds acks and replays each upstream buffer to the merged partition.
+ReconfigStage SeedAcksAndReplayMergedStage();
+
+/// Records the ScaleInEvent metric and commits.
+ReconfigStage CommitScaleInStage();
+
+/// Upstream-backup / source-replay recovery: deploys a replacement with the
+/// failed instance's key range on the acquired VM and starts it (no state to
+/// restore — replay rebuilds it).
+ReconfigStage DeployReplacementStage();
+
+/// Retires the failed instance (its VM is already dead) and installs routes.
+ReconfigStage RerouteRetireFailedStage();
+
+/// Upstream backup: every upstream instance replays its buffered window to
+/// the replacement behind a fence.
+ReconfigStage ReplayUpstreamBuffersStage();
+
+/// Source replay: pauses sources, resets every operator's state, and
+/// recomputes the pipeline from the sources' buffered history.
+ReconfigStage SourceReplayStage();
+
+/// No-op commit marker for recovery plans (metrics flow through the
+/// RecoveryEvent callbacks instead).
+ReconfigStage CommitRecoveryStage();
+
+}  // namespace seep::control
+
+#endif  // SEEP_CONTROL_RECONFIG_PLAN_H_

@@ -1,8 +1,11 @@
 #include "control/recovery_coordinator.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "control/reconfig_plan.h"
 #include "runtime/operator_instance.h"
 
 namespace seep::control {
@@ -54,10 +57,10 @@ void RecoveryCoordinator::Recover(InstanceId failed) {
       RecoverStateManagement(failed, index);
       break;
     case runtime::FaultToleranceMode::kUpstreamBackup:
-      RecoverUpstreamBackup(failed, index);
+      RecoverReplayBased(failed, index, /*source_replay=*/false);
       break;
     case runtime::FaultToleranceMode::kSourceReplay:
-      RecoverSourceReplay(failed, index);
+      RecoverReplayBased(failed, index, /*source_replay=*/true);
       break;
     case runtime::FaultToleranceMode::kNone:
       break;  // no recovery; the query stays degraded
@@ -79,7 +82,8 @@ void RecoveryCoordinator::RecoverStateManagement(InstanceId failed,
   callbacks.on_done = [this, failed, event_index](Status status) {
     if (status.ok()) return;
     // Abort (e.g. another operation in flight, or the backup holder also
-    // failed): retry shortly, per the paper's §4.3 discussion.
+    // failed): retry shortly, per the paper's §4.3 discussion. The plan's
+    // compensations already rolled the cluster back to a clean state.
     cluster_->simulation()->Schedule(SecondsToSim(1), [this, failed,
                                                        event_index]() {
       RecoverStateManagement(failed, event_index);
@@ -89,121 +93,48 @@ void RecoveryCoordinator::RecoverStateManagement(InstanceId failed,
                                  /*recovery=*/true, std::move(callbacks));
 }
 
-void RecoveryCoordinator::RecoverUpstreamBackup(InstanceId failed,
-                                                size_t event_index) {
+void RecoveryCoordinator::RecoverReplayBased(InstanceId failed,
+                                             size_t event_index,
+                                             bool source_replay) {
+  // The replay-based baselines (Fig. 11) share one plan shape: deploy a
+  // replacement with the dead instance's key range, retire the corpse,
+  // reroute, then rebuild state by replay — from every upstream buffer
+  // (upstream backup) or from the sources' full history (source replay).
   runtime::OperatorInstance* dead = cluster_->GetInstance(failed);
-  const OperatorId op = dead->op();
-  const core::KeyRange range = dead->key_range();
   auto* metrics = cluster_->metrics();
 
-  cluster_->pool()->Acquire([this, op, range, failed, event_index,
-                             metrics](VmId vm) {
-    auto deployed = cluster_->membership()->DeployInstance(op, vm, range);
-    SEEP_CHECK(deployed.ok());
-    const InstanceId new_id = deployed.value();
-    runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
-    inst->Start();
-    metrics->recoveries[event_index].restored_at = cluster_->Now();
-
-    cluster_->membership()->RetireInstance(failed, /*release_vm=*/false);
-    std::vector<core::RoutingState::Route> routes;
-    for (InstanceId id : cluster_->InstancesOf(op)) {
-      routes.push_back({cluster_->GetInstance(id)->key_range(), id});
-    }
-    cluster_->InstallRoutes(op, std::move(routes));
-
-    // Upstream backup: every upstream instance replays its (window-length)
-    // buffer; the replacement rebuilds state by re-processing it all.
-    std::vector<InstanceId> upstream = cluster_->UpstreamInstancesOf(op);
-    const uint64_t fence = cluster_->fences()->Register(
-        static_cast<int>(upstream.size()), {new_id},
-        [metrics, event_index](SimTime at) {
-          metrics->recoveries[event_index].caught_up_at = at;
-        });
-    for (InstanceId uid : upstream) {
-      cluster_->GetInstance(uid)->ReplayBuffer(op, INT64_MIN, {new_id},
-                                               fence);
-    }
-  });
-}
-
-void RecoveryCoordinator::RecoverSourceReplay(InstanceId failed,
-                                              size_t event_index) {
-  runtime::OperatorInstance* dead = cluster_->GetInstance(failed);
-  const OperatorId op = dead->op();
-  const core::KeyRange range = dead->key_range();
-  auto* metrics = cluster_->metrics();
-
-  cluster_->pool()->Acquire([this, op, range, failed, event_index,
-                             metrics](VmId vm) {
-    auto deployed = cluster_->membership()->DeployInstance(op, vm, range);
-    SEEP_CHECK(deployed.ok());
-    const InstanceId new_id = deployed.value();
-    cluster_->GetInstance(new_id)->Start();
-    metrics->recoveries[event_index].restored_at = cluster_->Now();
-
-    cluster_->membership()->RetireInstance(failed, /*release_vm=*/false);
-    std::vector<core::RoutingState::Route> routes;
-    for (InstanceId id : cluster_->InstancesOf(op)) {
-      routes.push_back({cluster_->GetInstance(id)->key_range(), id});
-    }
-    cluster_->InstallRoutes(op, std::move(routes));
-
-    // Source replay: pause generation, reset the whole pipeline, and
-    // recompute everything from the sources' buffered history [29].
-    std::vector<InstanceId> source_instances;
-    for (const auto& [id, inst] : cluster_->instances()) {
-      if (!inst->alive() || inst->stopped()) continue;
-      if (inst->spec().kind == core::VertexKind::kSource) {
-        inst->Pause();
-        source_instances.push_back(id);
-      } else if (inst->spec().kind == core::VertexKind::kOperator) {
-        inst->ResetEmpty(cluster_->NewOrigin());
-      }
-    }
-
-    const int expected = ExpectedSourceFences(op);
-    const uint64_t fence = cluster_->fences()->Register(
-        expected, {new_id},
-        [this, metrics, event_index, source_instances](SimTime at) {
-          metrics->recoveries[event_index].caught_up_at = at;
-          for (InstanceId sid : source_instances) {
-            runtime::OperatorInstance* s = cluster_->GetInstance(sid);
-            if (s != nullptr) s->Resume();
-          }
-        });
-    for (InstanceId sid : source_instances) {
-      runtime::OperatorInstance* s = cluster_->GetInstance(sid);
-      for (OperatorId down : cluster_->graph()->Downstream(s->op())) {
-        s->ReplayBuffer(down, INT64_MIN, cluster_->LiveInstancesOf(down),
-                        fence);
-      }
-    }
-  });
-}
-
-int RecoveryCoordinator::ExpectedSourceFences(OperatorId target_op) const {
-  // Fences multiply at each hop: a processed fence is forwarded to every
-  // live instance of every downstream operator. outflow(u) is the number of
-  // fences each downstream *instance* of u will receive from u's side.
-  const core::QueryGraph* graph = cluster_->graph();
-  std::map<OperatorId, int> outflow;
-  for (OperatorId id : graph->TopologicalOrder()) {
-    const core::OperatorSpec* spec = graph->Get(id);
-    if (spec->kind == core::VertexKind::kSource) {
-      outflow[id] = static_cast<int>(cluster_->LiveInstancesOf(id).size());
-      continue;
-    }
-    int arriving_per_instance = 0;
-    for (OperatorId up : graph->Upstream(id)) {
-      arriving_per_instance += outflow[up];
-    }
-    if (id == target_op) return arriving_per_instance;
-    // Every instance of this operator forwards each fence it processes.
-    outflow[id] = arriving_per_instance *
-                  static_cast<int>(cluster_->LiveInstancesOf(id).size());
-  }
-  return 0;
+  ReconfigPlan plan;
+  plan.op = dead->op();
+  plan.label = source_replay ? "source-replay-recovery"
+                             : "upstream-backup-recovery";
+  plan.ctx = std::make_shared<PlanContext>();
+  plan.ctx->target = failed;
+  plan.ctx->recovery = true;
+  plan.ctx->replacement_range = dead->key_range();
+  plan.ctx->on_restored = [metrics, event_index](SimTime at) {
+    metrics->recoveries[event_index].restored_at = at;
+  };
+  plan.ctx->on_caught_up = [metrics, event_index](SimTime at) {
+    metrics->recoveries[event_index].caught_up_at = at;
+  };
+  plan.stages = {
+      AcquireVmsStage(1, /*pre_delay=*/0, /*deadline=*/0),
+      DeployReplacementStage(),
+      RerouteRetireFailedStage(),
+      source_replay ? SourceReplayStage() : ReplayUpstreamBuffersStage(),
+      CommitRecoveryStage(),
+  };
+  coordinator_->executor()->Run(
+      std::move(plan), [this, failed, event_index,
+                        source_replay](Status status) {
+        if (status.ok()) return;
+        // Refused (another plan owns the operator) or compensated: retry
+        // once the conflicting reconfiguration finished.
+        cluster_->simulation()->Schedule(
+            SecondsToSim(1), [this, failed, event_index, source_replay]() {
+              RecoverReplayBased(failed, event_index, source_replay);
+            });
+      });
 }
 
 }  // namespace seep::control

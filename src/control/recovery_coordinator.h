@@ -48,13 +48,12 @@ class RecoveryCoordinator {
  private:
   void Poll();
   void RecoverStateManagement(InstanceId failed, size_t event_index);
-  void RecoverUpstreamBackup(InstanceId failed, size_t event_index);
-  void RecoverSourceReplay(InstanceId failed, size_t event_index);
 
-  /// Expected number of fence deliveries at the replacement when each source
-  /// instance fences its replay and intermediate instances forward fences to
-  /// every downstream instance.
-  int ExpectedSourceFences(OperatorId target_op) const;
+  /// The upstream-backup and source-replay baselines, expressed as one
+  /// shared ReconfigPlan shape (deploy replacement → retire + reroute →
+  /// replay) that differs only in its replay stage.
+  void RecoverReplayBased(InstanceId failed, size_t event_index,
+                          bool source_replay);
 
   runtime::Cluster* cluster_;
   ScaleOutCoordinator* coordinator_;

@@ -5,29 +5,24 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "core/state_ops.h"
+#include "control/reconfig_plan.h"
 #include "runtime/operator_instance.h"
 
 namespace seep::control {
 
-namespace {
-
-/// Time to serialise/partition `bytes` of checkpoint state on a node.
-SimTime StateProcessingDelay(const runtime::Cluster* cluster, size_t bytes) {
-  const double us = static_cast<double>(bytes) / 1024.0 *
-                    cluster->config().serialize_cost_us_per_kb;
-  return static_cast<SimTime>(us);
-}
-
-}  // namespace
-
-void ScaleOutCoordinator::FinishAborted(OperatorId op, Status status,
-                                        const Callbacks& cb) {
-  in_progress_.erase(op);
-  ++aborted_;
-  SEEP_LOG(kInfo, cluster_->Now())
-      << "scale out of op " << op << " aborted: " << status.ToString();
-  if (cb.on_done) cb.on_done(status);
+std::function<void(Status)> ScaleOutCoordinator::FinishFn(
+    OperatorId op, std::function<void(Status)> on_done) {
+  return [this, op, on_done = std::move(on_done)](Status status) {
+    in_progress_.erase(op);
+    if (status.ok()) {
+      ++completed_;
+    } else {
+      ++aborted_;
+      SEEP_LOG(kInfo, cluster_->Now())
+          << "scale out of op " << op << " aborted: " << status.ToString();
+    }
+    if (on_done) on_done(status);
+  };
 }
 
 void ScaleOutCoordinator::ScaleOutInstance(InstanceId target, uint32_t pi,
@@ -60,251 +55,28 @@ void ScaleOutCoordinator::ScaleOutInstance(InstanceId target, uint32_t pi,
   }
   in_progress_.insert(op);
 
-  // Freeze the target's checkpoint schedule: a checkpoint completing while
-  // we partition an older one would trim upstream buffers past the restore
-  // point. (Recovery targets are dead and cannot checkpoint.)
-  if (!recovery) t->SuspendCheckpoints();
-
-  // Algorithm 3 line 4: acquire π VMs from the pool, then partition the
-  // (latest) backed-up checkpoint and restore it across them.
-  cluster_->simulation()->Schedule(
-      config_.control_delay, [this, op, target, pi, recovery, callbacks]() {
-        auto vms = std::make_shared<std::vector<VmId>>();
-        for (uint32_t i = 0; i < pi; ++i) {
-          cluster_->pool()->Acquire([this, op, target, pi, recovery,
-                                     callbacks, vms](VmId vm) {
-            vms->push_back(vm);
-            if (vms->size() < pi) return;
-            RestoreAndSwitch(op, target, *vms, recovery, callbacks);
-          });
-        }
-      });
-}
-
-void ScaleOutCoordinator::RestoreAndSwitch(OperatorId op, InstanceId target,
-                                           std::vector<VmId> vms,
-                                           bool recovery,
-                                           Callbacks callbacks) {
-  const auto pi = static_cast<uint32_t>(vms.size());
-  const size_t partitions_before = cluster_->InstancesOf(op).size();
-
-  auto abort = [&](Status status) {
-    runtime::OperatorInstance* t = cluster_->GetInstance(target);
-    if (t != nullptr && !recovery) t->ResumeCheckpoints();
-    for (VmId vm : vms) (void)cluster_->provider()->ReleaseVm(vm);
-    FinishAborted(op, std::move(status), callbacks);
+  ReconfigPlan plan;
+  plan.op = op;
+  plan.label = recovery ? "recovery" : "scale-out";
+  plan.ctx = std::make_shared<PlanContext>();
+  plan.ctx->target = target;
+  plan.ctx->pi = pi;
+  plan.ctx->recovery = recovery;
+  plan.ctx->balanced_split = config_.balanced_split;
+  plan.ctx->control_delay = config_.control_delay;
+  plan.ctx->on_restored = std::move(callbacks.on_restored);
+  plan.ctx->on_caught_up = std::move(callbacks.on_caught_up);
+  plan.stages = {
+      QuiesceTargetStage(),
+      AcquireVmsStage(pi, config_.control_delay, /*deadline=*/0),
+      FetchAndPartitionStage(),
+      ShipStage(config_.ship_deadline),
+      HandoverStage(),
+      RerouteStage(),
+      SeedAcksAndReplayStage(),
+      CommitScaleOutStage(),
   };
-
-  // Algorithm 3 lines 1-3: retrieve the most recent checkpoint from
-  // backup(o) and partition it there. The holder must be alive (paper §4.3:
-  // if backup(o) failed, abort and retry after a fresh backup exists).
-  auto entry = cluster_->backups()->Retrieve(target);
-  const bool have_backup = entry.ok();
-  core::StateCheckpoint base;
-  InstanceId holder = kInvalidInstance;
-  if (have_backup) {
-    base = entry.value().checkpoint;
-    holder = entry.value().holder;
-    runtime::OperatorInstance* h = cluster_->GetInstance(holder);
-    if (h == nullptr || !h->alive() || h->stopped()) {
-      abort(Status::Unavailable("backup holder failed"));
-      return;
-    }
-  } else if (recovery) {
-    runtime::OperatorInstance* t = cluster_->GetInstance(target);
-    SEEP_CHECK(t != nullptr);
-    base.op = op;
-    base.instance = target;
-    base.key_range = t->key_range();
-  } else {
-    abort(Status::Unavailable("backup disappeared"));
-    return;
-  }
-  const bool inherit_origin = recovery && pi == 1 && have_backup;
-
-  auto parts_result =
-      config_.balanced_split
-          ? core::PartitionCheckpointByRanges(
-                base, core::BalancedSplitRanges(base, pi))
-          : core::PartitionCheckpoint(base, pi);
-  if (!parts_result.ok()) {
-    abort(parts_result.status());
-    return;
-  }
-  // Algorithm 2 audit: the split must exactly tile the parent's key range
-  // and conserve every state entry and buffered tuple.
-  if (auto* audit = cluster_->audit()) {
-    audit->OnPartitioned(base, parts_result.value());
-  }
-  auto shared_parts = std::make_shared<std::vector<core::StateCheckpoint>>(
-      std::move(parts_result).value());
-  const SimTime partition_delay =
-      StateProcessingDelay(cluster_, base.ByteSize());
-
-  // Algorithm 3 lines 3-6: deploy π new partitioned operators and restore.
-  std::vector<InstanceId> new_ids;
-  for (uint32_t i = 0; i < pi; ++i) {
-    auto deployed = cluster_->membership()->DeployInstance(
-        op, vms[i], (*shared_parts)[i].key_range);
-    SEEP_CHECK(deployed.ok());
-    new_ids.push_back(deployed.value());
-  }
-
-  auto remaining = std::make_shared<uint32_t>(pi);
-  auto on_all_restored = [this, op, target, new_ids, shared_parts, recovery,
-                          inherit_origin, partitions_before, callbacks]() {
-    const SimTime now = cluster_->Now();
-    if (callbacks.on_restored) callbacks.on_restored(now);
-
-    // Algorithm 3 line 7: the partition holding the restored buffer state
-    // replays it to downstream operators; their duplicate filters discard
-    // anything they already processed.
-    runtime::OperatorInstance* first = cluster_->GetInstance(new_ids[0]);
-    SEEP_CHECK(first != nullptr);
-    for (OperatorId down : cluster_->graph()->Downstream(op)) {
-      first->ReplayBuffer(down, INT64_MIN, cluster_->LiveInstancesOf(down),
-                          /*fence_id=*/0);
-    }
-    // A fresh-origin partition then discards the inherited buffer: its
-    // tuples carry the parent's origin and clock and would break the
-    // monotone-timestamp invariant the trim protocol relies on. (A serial
-    // recovery inherits the parent's origin, so its buffer stays.)
-    if (!inherit_origin) first->buffer_state().buffers().clear();
-
-    // Algorithm 3 line 8: stop the old operator and release its VM. On the
-    // graceful path we first capture its processed positions: the new
-    // partitions suppress re-emission while catching up through tuples the
-    // parent already delivered downstream.
-    // Membership removal is deferred to the routing switch below: until
-    // then, the stopped parent's frozen acknowledgement position keeps
-    // upstream buffers from being trimmed past the replay point.
-    runtime::OperatorInstance* parent = cluster_->GetInstance(target);
-    SEEP_CHECK(parent != nullptr);
-    if (!recovery) {
-      core::InputPositions parent_positions = parent->positions();
-      cluster_->membership()->StopInstance(target, /*release_vm=*/true);
-      if (!inherit_origin) {
-        for (InstanceId id : new_ids) {
-          cluster_->GetInstance(id)->SetSuppressUntil(parent_positions);
-        }
-      }
-    } else {
-      cluster_->membership()->StopInstance(target, /*release_vm=*/false);
-    }
-
-    // Algorithm 3 lines 9-14: stop upstream operators, repartition their
-    // routing and buffer state, replay unprocessed tuples, restart.
-    cluster_->simulation()->Schedule(
-        config_.control_delay,
-        [this, op, new_ids, shared_parts, recovery, partitions_before,
-         target, callbacks]() {
-          cluster_->membership()->FinalizeRetire(target);
-
-          std::vector<runtime::OperatorInstance*> upstream;
-          for (InstanceId uid : cluster_->UpstreamInstancesOf(op)) {
-            upstream.push_back(cluster_->GetInstance(uid));
-          }
-          for (auto* u : upstream) u->Pause();
-
-          // partition-routing-state: rebuild this operator's routes from
-          // the current membership (surviving partitions + new ones).
-          std::vector<core::RoutingState::Route> routes;
-          for (InstanceId id : cluster_->InstancesOf(op)) {
-            const runtime::OperatorInstance* inst = cluster_->GetInstance(id);
-            routes.push_back({inst->key_range(), id});
-          }
-          cluster_->InstallRoutes(op, std::move(routes));
-
-          const core::InputPositions& restored = (*shared_parts)[0].positions;
-          for (auto* u : upstream) {
-            u->PruneAcks(op);
-            for (InstanceId id : new_ids) {
-              u->SeedAck(op, id, restored.Get(u->origin()));
-            }
-          }
-
-          // Fence: one per (upstream instance, new partition) pair; when
-          // all have drained, the new partitions have caught up.
-          uint64_t fence = 0;
-          if (!upstream.empty()) {
-            fence = cluster_->fences()->Register(
-                static_cast<int>(upstream.size() * new_ids.size()),
-                std::set<InstanceId>(new_ids.begin(), new_ids.end()),
-                [callbacks](SimTime at) {
-                  if (callbacks.on_caught_up) callbacks.on_caught_up(at);
-                });
-          }
-          for (auto* u : upstream) {
-            u->ReplayBuffer(op, restored.Get(u->origin()), new_ids, fence);
-            u->Resume();
-          }
-
-          if (!recovery) {
-            runtime::ScaleOutEvent event;
-            event.at = cluster_->Now();
-            event.op = op;
-            event.partitioned_instance = target;
-            event.parallelism_before =
-                static_cast<uint32_t>(partitions_before);
-            event.parallelism_after =
-                static_cast<uint32_t>(cluster_->InstancesOf(op).size());
-            cluster_->metrics()->scale_outs.push_back(event);
-            SEEP_LOG(kInfo, cluster_->Now())
-                << "scaled out op " << op << " to "
-                << event.parallelism_after << " partitions";
-          }
-
-          in_progress_.erase(op);
-          ++completed_;
-          if (callbacks.on_done) callbacks.on_done(Status::OK());
-        });
-  };
-
-  // Ship each partition checkpoint from the holder to its new VM (after the
-  // holder spent `partition_delay` splitting it), then restore there.
-  // Without a backup (empty synthetic state) the restore is immediate after
-  // a control delay.
-  for (uint32_t i = 0; i < pi; ++i) {
-    const InstanceId new_id = new_ids[i];
-    auto restore_one = [this, shared_parts, i, new_id, holder, inherit_origin,
-                        remaining, on_all_restored]() {
-      runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
-      SEEP_CHECK(inst != nullptr);
-      const core::StateCheckpoint& part = (*shared_parts)[i];
-      inst->Restore(part, inherit_origin);
-      inst->Start();
-      // Algorithm 2 line 8: the partition checkpoints become the initial
-      // backups of the new partitions.
-      if (holder != kInvalidInstance) {
-        core::StateCheckpoint initial = part;
-        initial.instance = new_id;
-        initial.origin = inst->origin();
-        if (auto* audit = cluster_->audit()) {
-          const runtime::OperatorInstance* h = cluster_->GetInstance(holder);
-          audit->OnCheckpointStored(new_id, inst->vm(), holder,
-                                    h != nullptr ? h->vm() : kInvalidVm,
-                                    initial.seq);
-        }
-        cluster_->backups()->Store(new_id, holder, std::move(initial));
-      }
-      if (--(*remaining) == 0) on_all_restored();
-    };
-    if (have_backup) {
-      const runtime::OperatorInstance* h = cluster_->GetInstance(holder);
-      const runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
-      const uint64_t bytes = (*shared_parts)[i].ByteSize();
-      cluster_->simulation()->Schedule(
-          partition_delay,
-          [this, h_vm = h->vm(), i_vm = inst->vm(), bytes,
-           restore_one = std::move(restore_one)]() mutable {
-            cluster_->transport()->ShipState(h_vm, i_vm, bytes,
-                                             std::move(restore_one));
-          });
-    } else {
-      cluster_->simulation()->Schedule(config_.control_delay,
-                                       std::move(restore_one));
-    }
-  }
+  executor_.Run(std::move(plan), FinishFn(op, std::move(callbacks.on_done)));
 }
 
 void ScaleOutCoordinator::ScaleIn(OperatorId op, Callbacks callbacks) {
@@ -346,75 +118,26 @@ void ScaleOutCoordinator::ScaleIn(OperatorId op, Callbacks callbacks) {
     return;
   }
   in_progress_.insert(op);
-  cluster_->GetInstance(a_id)->SuspendCheckpoints();
-  cluster_->GetInstance(b_id)->SuspendCheckpoints();
 
-  // Quiesce: pause every upstream instance, wait for both partitions to
-  // drain, then capture consistent checkpoints and merge them (paper §3.3's
-  // merge primitive for scale in).
-  std::vector<InstanceId> upstream = cluster_->UpstreamInstancesOf(op);
-  for (InstanceId uid : upstream) cluster_->GetInstance(uid)->Pause();
-
-  // Drain check: both idle on three consecutive 50 ms polls after a grace
-  // period longer than the network round trip.
-  auto poll = std::make_shared<std::function<void(int)>>();
-  *poll = [this, op, a_id, b_id, upstream, callbacks, poll](int idle_polls) {
-    runtime::OperatorInstance* a = cluster_->GetInstance(a_id);
-    runtime::OperatorInstance* b = cluster_->GetInstance(b_id);
-    if (a == nullptr || b == nullptr || !a->alive() || !b->alive()) {
-      for (InstanceId uid : upstream) cluster_->GetInstance(uid)->Resume();
-      FinishAborted(op, Status::Unavailable("partition died during scale-in"),
-                    callbacks);
-      return;
-    }
-    const bool idle = a->idle() && b->idle();
-    const int next = idle ? idle_polls + 1 : 0;
-    if (next < 3) {
-      cluster_->simulation()->Schedule(MillisToSim(50),
-                                       [poll, next]() { (*poll)(next); });
-      return;
-    }
-
-    auto merged = core::MergeCheckpoints(
-        {a->MakeCheckpoint(), b->MakeCheckpoint()});
-    SEEP_CHECK(merged.ok());
-    auto shared = std::make_shared<core::StateCheckpoint>(
-        std::move(merged).value());
-
-    cluster_->pool()->Acquire([this, op, a_id, b_id, upstream, shared,
-                               callbacks](VmId vm) {
-      auto deployed = cluster_->membership()->DeployInstance(
-          op, vm, shared->key_range);
-      SEEP_CHECK(deployed.ok());
-      const InstanceId new_id = deployed.value();
-      runtime::OperatorInstance* inst = cluster_->GetInstance(new_id);
-      inst->Restore(*shared, /*inherit_origin=*/false);
-      inst->Start();
-
-      cluster_->membership()->RetireInstance(a_id, /*release_vm=*/true);
-      cluster_->membership()->RetireInstance(b_id, /*release_vm=*/true);
-
-      std::vector<core::RoutingState::Route> routes;
-      for (InstanceId id : cluster_->InstancesOf(op)) {
-        routes.push_back({cluster_->GetInstance(id)->key_range(), id});
-      }
-      cluster_->InstallRoutes(op, std::move(routes));
-
-      for (InstanceId uid : upstream) {
-        runtime::OperatorInstance* u = cluster_->GetInstance(uid);
-        u->PruneAcks(op);
-        u->SeedAck(op, new_id, shared->positions.Get(u->origin()));
-        u->ReplayBuffer(op, shared->positions.Get(u->origin()), {new_id},
-                        /*fence_id=*/0);
-        u->Resume();
-      }
-      in_progress_.erase(op);
-      ++completed_;
-      if (callbacks.on_done) callbacks.on_done(Status::OK());
-    });
+  ReconfigPlan plan;
+  plan.op = op;
+  plan.label = "scale-in";
+  plan.ctx = std::make_shared<PlanContext>();
+  plan.ctx->merge_a = a_id;
+  plan.ctx->merge_b = b_id;
+  plan.ctx->control_delay = config_.control_delay;
+  plan.ctx->on_restored = std::move(callbacks.on_restored);
+  plan.ctx->on_caught_up = std::move(callbacks.on_caught_up);
+  plan.stages = {
+      QuiesceAndDrainStage(config_.drain_deadline),
+      MergeStage(),
+      AcquireVmsStage(1, /*pre_delay=*/0, /*deadline=*/0),
+      DeployMergedStage(),
+      RerouteMergedStage(),
+      SeedAcksAndReplayMergedStage(),
+      CommitScaleInStage(),
   };
-  cluster_->simulation()->Schedule(MillisToSim(100),
-                                   [poll]() { (*poll)(0); });
+  executor_.Run(std::move(plan), FinishFn(op, std::move(callbacks.on_done)));
 }
 
 }  // namespace seep::control

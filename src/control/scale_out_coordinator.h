@@ -3,9 +3,11 @@
 
 #include <functional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "control/reconfig_executor.h"
 #include "runtime/cluster.h"
 
 namespace seep::control {
@@ -18,12 +20,23 @@ struct CoordinatorConfig {
   /// Split partitions at the quantiles of the checkpoint's state-entry keys
   /// (Algorithm 2's distribution-guided split) instead of even hash halves.
   bool balanced_split = true;
+  /// Abort-and-compensate deadline for the Ship stage: a shipped partition
+  /// whose delivery never arrives (the holder or the new VM died mid-ship)
+  /// fails the plan instead of hanging it forever. Far beyond any healthy
+  /// ship time; fault-injection tests shrink it.
+  SimTime ship_deadline = SecondsToSim(600);
+  /// Same for scale-in's quiesce-and-drain stage.
+  SimTime drain_deadline = SecondsToSim(600);
 };
 
 /// Implements the paper's Algorithm 3 (fault-tolerant scale out) over the
 /// runtime. Failure recovery is the same code path invoked with the failed
 /// instance and `recovery = true` — the paper's central claim that
 /// "operator recovery becomes a special case of scale out".
+///
+/// The coordinator is a thin policy driver: it admits the request, picks the
+/// participants, and builds a ReconfigPlan from the shared stage vocabulary;
+/// the ReconfigExecutor runs the stages and compensates on failure.
 class ScaleOutCoordinator {
  public:
   /// Outcome callbacks; either may be null.
@@ -37,7 +50,7 @@ class ScaleOutCoordinator {
   };
 
   ScaleOutCoordinator(runtime::Cluster* cluster, CoordinatorConfig config)
-      : cluster_(cluster), config_(config) {}
+      : cluster_(cluster), config_(config), executor_(cluster) {}
 
   /// Partitions instance `target` of its logical operator into `pi` new
   /// instances, fault-tolerantly (Algorithm 3). With `recovery` the target
@@ -59,14 +72,20 @@ class ScaleOutCoordinator {
   size_t completed_scale_outs() const { return completed_; }
   size_t aborted_scale_outs() const { return aborted_; }
 
+  /// The plan executor, shared with the recovery coordinator so every
+  /// reconfiguration mode runs through the same stage machinery.
+  ReconfigExecutor* executor() { return &executor_; }
+
  private:
-  void FinishAborted(OperatorId op, Status status, const Callbacks& cb);
-  void RestoreAndSwitch(OperatorId op, InstanceId target,
-                        std::vector<VmId> vms, bool recovery,
-                        Callbacks callbacks);
+  /// Wraps a plan's terminal status into the coordinator's bookkeeping:
+  /// clears the in-progress mark, bumps the completion/abort counters and
+  /// forwards to the caller's callback.
+  std::function<void(Status)> FinishFn(OperatorId op,
+                                       std::function<void(Status)> on_done);
 
   runtime::Cluster* cluster_;
   CoordinatorConfig config_;
+  ReconfigExecutor executor_;
   std::set<OperatorId> in_progress_;
   size_t completed_ = 0;
   size_t aborted_ = 0;

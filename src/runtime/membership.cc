@@ -119,6 +119,9 @@ Status Membership::KillVm(VmId vm) {
     OperatorInstance* inst = GetInstance(it->second);
     SEEP_CHECK(inst != nullptr);
     inst->MarkDead(cluster_->Now());
+    if (auto* audit = cluster_->audit()) {
+      audit->OnInstanceDead(inst->id());
+    }
     // Checkpoints stored on this VM die with it (paper §4.3's backup(o)
     // failure case).
     cluster_->backups()->DropHeldBy(inst->id());

@@ -2,6 +2,7 @@
 #define SEEP_RUNTIME_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
@@ -17,6 +18,39 @@ struct ScaleOutEvent {
   InstanceId partitioned_instance = kInvalidInstance;
   uint32_t parallelism_before = 0;
   uint32_t parallelism_after = 0;
+};
+
+/// One dynamic scale-in action: two adjacent partitions merged into one
+/// (paper §3.3's merge primitive), releasing a VM.
+struct ScaleInEvent {
+  SimTime at = 0;
+  OperatorId op = 0;
+  InstanceId merged_a = kInvalidInstance;
+  InstanceId merged_b = kInvalidInstance;
+  InstanceId merged_into = kInvalidInstance;
+  uint32_t parallelism_before = 0;
+  uint32_t parallelism_after = 0;
+};
+
+/// Wall-clock (simulated) extent of one reconfiguration-plan stage.
+struct ReconfigStageTiming {
+  const char* stage = "";  // StageKindName; static storage
+  SimTime started = 0;
+  SimTime ended = 0;
+};
+
+/// Lifecycle record of one reconfiguration plan (scale out/in, recovery):
+/// which stages ran, how long each took, and whether the plan committed or
+/// was aborted and compensated.
+struct ReconfigPlanEvent {
+  uint64_t plan_id = 0;
+  OperatorId op = 0;
+  const char* label = "";  // plan label; static storage
+  bool aborted = false;
+  std::string status;
+  SimTime started = 0;
+  SimTime ended = 0;
+  std::vector<ReconfigStageTiming> stages;
 };
 
 /// One failure-recovery action (paper §6.2). `caught_up_at` is when the
@@ -60,7 +94,9 @@ class MetricsRegistry {
   TimeSeries vms_in_use;
 
   std::vector<ScaleOutEvent> scale_outs;
+  std::vector<ScaleInEvent> scale_ins;
   std::vector<RecoveryEvent> recoveries;
+  std::vector<ReconfigPlanEvent> reconfig_plans;
 
   uint64_t duplicates_dropped = 0;
   uint64_t checkpoints_taken = 0;

@@ -411,6 +411,116 @@ void InvariantAuditor::OnFenceProcessed(uint64_t fence_id, InstanceId from,
   fence_snapshots_.erase(it);
 }
 
+// --------------------------------------------- reconfiguration plane
+
+void InvariantAuditor::OnPlanStarted(uint64_t plan_id, OperatorId op) {
+  if (level_ < kAuditCheap) return;
+  if (auto it = active_plan_of_op_.find(op);
+      it != active_plan_of_op_.end()) {
+    std::ostringstream msg;
+    msg << "plan " << plan_id << " started for op " << op << " while plan "
+        << it->second << " is still reconfiguring it";
+    Fail("one-plan-per-operator", msg.str());
+  }
+  active_plan_of_op_[op] = plan_id;
+  PlanMirror& mirror = plans_[plan_id];
+  mirror.op = op;
+  if (auto it = routes_.find(op); it != routes_.end()) {
+    mirror.had_routes = true;
+    mirror.routes_at_start = it->second;
+  }
+}
+
+void InvariantAuditor::OnPlanVmAcquired(uint64_t plan_id, VmId vm) {
+  if (level_ < kAuditCheap) return;
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) return;  // grant landed after the plan finished
+  it->second.outstanding_vms.insert(vm);
+}
+
+void InvariantAuditor::OnPlanVmDisposed(uint64_t plan_id, VmId vm) {
+  if (level_ < kAuditCheap) return;
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) return;
+  it->second.outstanding_vms.erase(vm);
+}
+
+void InvariantAuditor::OnPlanSuspendedCheckpoints(uint64_t plan_id,
+                                                  InstanceId instance) {
+  if (level_ < kAuditCheap) return;
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) return;
+  it->second.suspended.insert(instance);
+}
+
+void InvariantAuditor::OnInstanceDead(InstanceId instance) {
+  if (level_ < kAuditCheap) return;
+  dead_instances_.insert(instance);
+}
+
+void InvariantAuditor::OnPlanFinished(uint64_t plan_id, OperatorId op,
+                                      bool aborted) {
+  if (level_ < kAuditCheap) return;
+  auto it = plans_.find(plan_id);
+  if (it == plans_.end()) return;
+  const PlanMirror& mirror = it->second;
+
+  // Every VM the plan acquired must have been consumed by a deployment or
+  // released back to the provider — on commit AND on abort.
+  if (!mirror.outstanding_vms.empty()) {
+    std::ostringstream msg;
+    msg << "plan " << plan_id << " (op " << op << ", "
+        << (aborted ? "aborted" : "committed") << ") finished holding "
+        << mirror.outstanding_vms.size() << " undisposed VM(s):";
+    for (VmId vm : mirror.outstanding_vms) msg << " " << vm;
+    Fail("no-leaked-vm", msg.str());
+  }
+
+  if (aborted) {
+    // Every checkpoint schedule the plan froze must run again, unless the
+    // instance died (its replacement starts a fresh schedule).
+    for (InstanceId inst : mirror.suspended) {
+      if (suspended_.contains(inst) && !dead_instances_.contains(inst)) {
+        std::ostringstream msg;
+        msg << "aborted plan " << plan_id << " (op " << op
+            << ") left live instance " << inst
+            << " with its checkpoint schedule suspended";
+        Fail("checkpoints-resumed-after-abort", msg.str());
+      }
+    }
+
+    // An aborted plan must leave the operator's routing exactly as it found
+    // it — the compensations reinstalled the old routes (or never touched
+    // them).
+    const auto rit = routes_.find(op);
+    const bool has_routes = rit != routes_.end();
+    bool same = has_routes == mirror.had_routes;
+    if (same && has_routes) {
+      const auto& now = rit->second;
+      const auto& before = mirror.routes_at_start;
+      same = now.size() == before.size();
+      for (size_t i = 0; same && i < now.size(); ++i) {
+        same = now[i].range.lo == before[i].range.lo &&
+               now[i].range.hi == before[i].range.hi &&
+               now[i].instance == before[i].instance;
+      }
+    }
+    if (!same) {
+      std::ostringstream msg;
+      msg << "aborted plan " << plan_id << " (op " << op
+          << ") left the operator's routing different from the table it "
+             "started with";
+      Fail("routes-restored-on-abort", msg.str());
+    }
+  }
+
+  if (auto ait = active_plan_of_op_.find(op);
+      ait != active_plan_of_op_.end() && ait->second == plan_id) {
+    active_plan_of_op_.erase(ait);
+  }
+  plans_.erase(it);
+}
+
 // ------------------------------------------------ recovery: exactly-once
 
 void InvariantAuditor::OnSinkDelivered(OperatorId sink_op,

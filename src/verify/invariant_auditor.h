@@ -171,6 +171,41 @@ class InvariantAuditor {
   /// drained (Algorithm 3's drain proof would be a lie).
   void OnFenceProcessed(uint64_t fence_id, InstanceId from, InstanceId to);
 
+  // ------------------------------------------- reconfiguration plane
+
+  /// Reconfiguration plan `plan_id` (scale out/in, recovery) started for
+  /// operator `op`. Asserts one-plan-per-operator: two concurrent plans
+  /// reconfiguring the same operator would race on its routing and
+  /// membership. Also snapshots the operator's routing mirror for the
+  /// routes-restored-on-abort check.
+  void OnPlanStarted(uint64_t plan_id, OperatorId op);
+
+  /// The plan took ownership of VM `vm` (pool grant).
+  void OnPlanVmAcquired(uint64_t plan_id, VmId vm);
+
+  /// The plan handed VM `vm` off — consumed by a deployment or released
+  /// back to the provider. Every acquired VM must be disposed before the
+  /// plan finishes (no-leaked-vm).
+  void OnPlanVmDisposed(uint64_t plan_id, VmId vm);
+
+  /// The plan froze `instance`'s checkpoint schedule. On an aborted plan,
+  /// every surviving frozen instance must have been resumed by the time the
+  /// plan finishes (checkpoints-resumed-after-abort) — a partition left
+  /// suspended would never back up again.
+  void OnPlanSuspendedCheckpoints(uint64_t plan_id, InstanceId instance);
+
+  /// `instance` crash-stopped (its VM died). Dead instances are exempt from
+  /// the resume-after-abort check: they cannot checkpoint and their
+  /// replacements start fresh schedules.
+  void OnInstanceDead(InstanceId instance);
+
+  /// The plan finished. `aborted` distinguishes commit from
+  /// compensated-abort. Asserts no-leaked-vm (always) and, on abort,
+  /// checkpoints-resumed-after-abort plus routes-restored-on-abort (an
+  /// aborted plan must leave the operator's routing exactly as it found
+  /// it).
+  void OnPlanFinished(uint64_t plan_id, OperatorId op, bool aborted);
+
   // ----------------------------------------------- recovery: exactly-once
 
   /// A tuple stamped (origin, timestamp) survived duplicate filtering at a
@@ -221,6 +256,18 @@ class InvariantAuditor {
 
   // Algorithm 2 mirror (for the level-2 whole-table sweep).
   std::map<OperatorId, std::vector<core::RoutingState::Route>> routes_;
+
+  // Reconfiguration-plane mirrors.
+  struct PlanMirror {
+    OperatorId op = 0;
+    std::set<VmId> outstanding_vms;
+    std::set<InstanceId> suspended;
+    bool had_routes = false;
+    std::vector<core::RoutingState::Route> routes_at_start;
+  };
+  std::map<uint64_t, PlanMirror> plans_;
+  std::map<OperatorId, uint64_t> active_plan_of_op_;
+  std::set<InstanceId> dead_instances_;
 
   // Algorithm 3 mirrors.
   std::map<LinkKey, uint64_t> replay_sent_;

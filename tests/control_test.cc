@@ -1,11 +1,16 @@
 // Control-plane tests: scaling policy semantics (k consecutive reports over
-// δ), scale-out abort/retry paths, failure-detection latency, and the
-// deployment manager's initial-parallelism handling.
+// δ), scale-out abort/retry paths, failure-detection latency, the
+// deployment manager's initial-parallelism handling, and fault injection
+// into running reconfiguration plans (compensation + retry convergence).
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "runtime/operator_instance.h"
 #include "sps/sps.h"
+#include "verify/invariant_auditor.h"
 #include "workloads/wordcount/wordcount.h"
 
 namespace seep::control {
@@ -151,6 +156,251 @@ TEST(FailureDetectorTest, DisabledDetectorNeverRecovers) {
   sps.InjectFailure(query.counter, 20.0);
   sps.RunFor(60);
   EXPECT_TRUE(sps.metrics().recoveries.empty());
+}
+
+// ------------------------------- fault injection into running plans
+//
+// Each test interrupts a reconfiguration plan partway through, then checks
+// that the executor's compensations put the system back exactly where it
+// was (with the level-2 auditor watching: no leaked VM, checkpoints
+// resumed, routes restored) and that a later retry converges.
+
+/// Collects level-2 audit violations instead of aborting, so tests can
+/// report them as readable failures.
+struct AuditLog {
+  explicit AuditLog(sps::Sps& sps) {
+    sps.cluster().audit()->SetHandler([this](const verify::Violation& v) {
+      entries.push_back(v.invariant + ": " + v.detail);
+    });
+  }
+  std::vector<std::string> entries;
+};
+
+TEST(ReconfigFaultTest, ScaleInAbortResumesSurvivorCheckpoints) {
+  // Regression for a bug the plan refactor folded away: when a merge
+  // partner dies during the drain, the abort path must resume the
+  // *surviving* partition's checkpoint schedule (and unpause upstreams).
+  WordCountQuery query = BuildWordCountQuery(HeavyCounter(300, 100));
+  const OperatorId counter = query.counter;
+  sps::SpsConfig config;
+  config.scaling.enabled = false;
+  config.failure_detector.enabled = false;
+  config.cluster.checkpoint_interval = SecondsToSim(2);
+  config.cluster.audit_level = verify::kAuditExpensive;
+  config.initial_parallelism = {{counter, 2}};
+  sps::Sps sps(std::move(query.graph), config);
+  AuditLog audit(sps);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunUntil(10);
+
+  const auto live = sps.cluster().LiveInstancesOf(counter);
+  ASSERT_EQ(live.size(), 2u);
+
+  bool done = false;
+  Status result;
+  ScaleOutCoordinator::Callbacks callbacks;
+  callbacks.on_done = [&](Status s) {
+    done = true;
+    result = std::move(s);
+  };
+  sps.scale_out_coordinator().ScaleIn(counter, std::move(callbacks));
+  // The drain needs >= 200ms of quiet polls; kill one merge partner while
+  // it is still polling.
+  sps.cluster().simulation()->Schedule(MillisToSim(120), [&sps, live] {
+    (void)sps.cluster().membership()->KillVm(
+        sps.cluster().GetInstance(live[1])->vm());
+  });
+  sps.RunUntil(12);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable());
+  EXPECT_TRUE(sps.metrics().scale_ins.empty());
+
+  const auto* survivor = sps.cluster().GetInstance(live[0]);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_TRUE(survivor->alive());
+  EXPECT_FALSE(survivor->checkpoints_suspended());
+
+  // Upstreams were unpaused by the compensation: tuples keep flowing.
+  const uint64_t tuples_at_abort = sps.metrics().sink_tuples.total();
+  sps.RunFor(10);
+  EXPECT_GT(sps.metrics().sink_tuples.total(), tuples_at_abort);
+
+  for (const auto& v : audit.entries) ADD_FAILURE() << "audit: " << v;
+  EXPECT_EQ(sps.cluster().audit()->violations(), 0u);
+}
+
+/// Shared harness for the mid-ship kill tests: a word-count query whose
+/// counter holds ~100KB of state at ~0.05 simulated seconds per KB, so its
+/// ship stage spans several seconds and a kill scheduled 1s into the
+/// scale-out lands inside it — while small checkpoints (the stateless
+/// splitter's) still ship well inside the 30s deadline.
+struct ShipWindowFixture {
+  ShipWindowFixture()
+      : query(BuildWordCountQuery([] {
+          WordCountConfig wc = HeavyCounter(1000, 100);
+          wc.vocabulary = 4096;
+          return wc;
+        }())) {
+    config.scaling.enabled = false;
+    config.failure_detector.enabled = false;
+    config.cluster.checkpoint_interval = SecondsToSim(2);
+    config.cluster.audit_level = verify::kAuditExpensive;
+    config.cluster.serialize_cost_us_per_kb = 5e4;
+    config.cluster.pool.grant_delay = MillisToSim(100);
+    config.coordinator.ship_deadline = SecondsToSim(30);
+  }
+
+  WordCountQuery query;
+  sps::SpsConfig config;
+};
+
+/// The one plan that aborted so far (asserts there is exactly one).
+const runtime::ReconfigPlanEvent* AbortedPlan(sps::Sps& sps) {
+  const runtime::ReconfigPlanEvent* found = nullptr;
+  for (const auto& plan : sps.metrics().reconfig_plans) {
+    if (!plan.aborted) continue;
+    EXPECT_EQ(found, nullptr) << "more than one aborted plan";
+    found = &plan;
+  }
+  return found;
+}
+
+TEST(ReconfigFaultTest, HolderKilledMidShipCompensatesAndRetryConverges) {
+  ShipWindowFixture fx;
+  const OperatorId counter = fx.query.counter;
+  // The detector stays on: the dead holder instance must itself be
+  // recovered before anyone can hold the counter's checkpoints again.
+  fx.config.failure_detector.enabled = true;
+  sps::Sps sps(std::move(fx.query.graph), fx.config);
+  AuditLog audit(sps);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunUntil(10);
+
+  const InstanceId target = sps.cluster().LiveInstancesOf(counter).at(0);
+  const auto* backup = sps.cluster().backups()->Find(target);
+  ASSERT_NE(backup, nullptr);
+  const VmId holder_vm = sps.cluster().GetInstance(backup->holder)->vm();
+  const size_t vms_in_use_before = sps.VmsInUse();
+
+  bool done = false;
+  Status result;
+  ScaleOutCoordinator::Callbacks callbacks;
+  callbacks.on_done = [&](Status s) {
+    done = true;
+    result = std::move(s);
+  };
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(callbacks));
+  sps.cluster().simulation()->Schedule(SecondsToSim(1), [&sps, holder_vm] {
+    (void)sps.cluster().membership()->KillVm(holder_vm);
+  });
+  sps.RunUntil(60);
+
+  // The ship never completes (the holder died mid-transfer), the stage
+  // deadline fires and the plan aborts in its ship stage.
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable());
+  const auto* plan = AbortedPlan(sps);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_FALSE(plan->stages.empty());
+  EXPECT_STREQ(plan->stages.back().stage, "ship");
+
+  // Compensations rolled everything back: the query runs at its old
+  // parallelism and both acquired VMs were returned (only the killed
+  // holder VM is gone — its replacement is still provisioning).
+  EXPECT_EQ(sps.ParallelismOf(counter), 1u);
+  EXPECT_EQ(sps.VmsInUse(), vms_in_use_before - 1);
+
+  // Once the pool can feed it a VM, the holder's own recovery completes;
+  // the counter's resumed checkpoint schedule then finds a live upstream
+  // to hold a fresh backup, and a retry converges.
+  sps.RunUntil(150);
+  EXPECT_EQ(sps.VmsInUse(), vms_in_use_before);
+  ASSERT_TRUE(sps.cluster().backups()->Has(target));
+  bool retry_done = false;
+  Status retry;
+  ScaleOutCoordinator::Callbacks retry_callbacks;
+  retry_callbacks.on_done = [&](Status s) {
+    retry_done = true;
+    retry = std::move(s);
+  };
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(retry_callbacks));
+  sps.RunFor(60);
+  ASSERT_TRUE(retry_done);
+  EXPECT_TRUE(retry.ok());
+  EXPECT_EQ(sps.ParallelismOf(counter), 2u);
+
+  for (const auto& v : audit.entries) ADD_FAILURE() << "audit: " << v;
+  EXPECT_EQ(sps.cluster().audit()->violations(), 0u);
+}
+
+TEST(ReconfigFaultTest, NewVmKilledDuringRestoreCompensatesAndRetries) {
+  ShipWindowFixture fx;
+  const OperatorId counter = fx.query.counter;
+  sps::Sps sps(std::move(fx.query.graph), fx.config);
+  AuditLog audit(sps);
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunUntil(10);
+
+  const InstanceId target = sps.cluster().LiveInstancesOf(counter).at(0);
+  const size_t vms_in_use_before = sps.VmsInUse();
+
+  bool done = false;
+  Status result;
+  ScaleOutCoordinator::Callbacks callbacks;
+  callbacks.on_done = [&](Status s) {
+    done = true;
+    result = std::move(s);
+  };
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(callbacks));
+  // 1s in, the two new partitions are deployed and state is being shipped
+  // to them; kill one of the new VMs so its restore never happens.
+  sps.cluster().simulation()->Schedule(SecondsToSim(1), [&sps, counter,
+                                                        target] {
+    for (InstanceId id : sps.cluster().InstancesOf(counter)) {
+      if (id == target) continue;
+      (void)sps.cluster().membership()->KillVm(
+          sps.cluster().GetInstance(id)->vm());
+      return;
+    }
+    ADD_FAILURE() << "no new partition deployed by kill time";
+  });
+  sps.RunUntil(60);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable());
+  const auto* plan = AbortedPlan(sps);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_FALSE(plan->stages.empty());
+  EXPECT_STREQ(plan->stages.back().stage, "ship");
+
+  // Both new partitions were retired by the compensation (the dead one's
+  // VM is simply gone); the original partition still runs, so the VM count
+  // is back to the pre-scale-out figure.
+  EXPECT_EQ(sps.ParallelismOf(counter), 1u);
+  EXPECT_EQ(sps.VmsInUse(), vms_in_use_before);
+  EXPECT_EQ(sps.cluster().pool()->pending_requests(), 0u);
+
+  bool retry_done = false;
+  Status retry;
+  ScaleOutCoordinator::Callbacks retry_callbacks;
+  retry_callbacks.on_done = [&](Status s) {
+    retry_done = true;
+    retry = std::move(s);
+  };
+  sps.RunFor(5);
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(retry_callbacks));
+  sps.RunFor(60);
+  ASSERT_TRUE(retry_done);
+  EXPECT_TRUE(retry.ok());
+  EXPECT_EQ(sps.ParallelismOf(counter), 2u);
+
+  for (const auto& v : audit.entries) ADD_FAILURE() << "audit: " << v;
+  EXPECT_EQ(sps.cluster().audit()->violations(), 0u);
 }
 
 TEST(DeploymentTest, InitialParallelismSplitsKeySpace) {

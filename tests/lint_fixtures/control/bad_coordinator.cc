@@ -1,0 +1,6 @@
+// Fixture: a coordinator mutating the cluster directly instead of building
+// a ReconfigPlan, dodging compensations and the plan audit invariants.
+void BadScaleOut() {
+  auto id = membership->DeployInstance(op, vm, range, 0, 1);
+  cluster->InstallRoutes(op, routes);
+}

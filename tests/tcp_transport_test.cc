@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/local_cluster.h"
+#include "runtime/operator_instance.h"
 #include "runtime/tcp_transport.h"
 #include "sps/sps.h"
 #include "verify/invariant_auditor.h"
@@ -200,6 +201,100 @@ TEST(TcpTransportIntegration, AsyncFailureMidChunkStreamRecoversExactly) {
     ADD_FAILURE() << "audit violation " << v.invariant << ": " << v.detail;
   }
   EXPECT_EQ(with_failure.audit_violations, 0u);
+}
+
+TEST(TcpTransportIntegration, HolderDeathMidShipCompensatesOverTcp) {
+  // Fault injection into a running reconfiguration plan, over real loopback
+  // sockets: the backup holder's VM worker is hard-killed while the
+  // partitioned checkpoint is being shipped. The ship stage's deadline must
+  // convert the lost transfer into an abort, the plan's compensations must
+  // roll the query back to its old shape (level-2 audit watching: no leaked
+  // VM, checkpoints resumed, routes restored), and a later retry must
+  // converge once a fresh backup exists.
+  WordCountConfig wc;
+  wc.rate_tuples_per_sec = 1000;
+  wc.words_per_sentence = 1;
+  wc.vocabulary = 4096;
+  wc.counter_cost_us = 100;
+  wc.seed = 23;
+  wc.window = SecondsToSim(30);
+
+  sps::SpsConfig config = BaseConfig(runtime::TransportKind::kTcp);
+  config.cluster.checkpoint_interval = SecondsToSim(2);
+  config.cluster.audit_level = verify::kAuditExpensive;
+  // ~100KB of counter state at 0.05 simulated s/KB: the ship stage spans
+  // several seconds, so a kill 1s into the scale-out lands inside it.
+  config.cluster.serialize_cost_us_per_kb = 5e4;
+  config.cluster.pool.grant_delay = MillisToSim(100);
+  config.coordinator.ship_deadline = SecondsToSim(30);
+
+  WordCountQuery query = BuildWordCountQuery(wc);
+  const OperatorId counter = query.counter;
+  sps::Sps sps(std::move(query.graph), config);
+  std::vector<std::string> audit_entries;
+  sps.cluster().audit()->SetHandler([&audit_entries](
+                                        const verify::Violation& v) {
+    audit_entries.push_back(v.invariant + ": " + v.detail);
+  });
+  ASSERT_TRUE(sps.Deploy().ok());
+  sps.RunUntil(10);
+
+  const InstanceId target = sps.cluster().LiveInstancesOf(counter).at(0);
+  const auto* backup = sps.cluster().backups()->Find(target);
+  ASSERT_NE(backup, nullptr);
+  const VmId holder_vm = sps.cluster().GetInstance(backup->holder)->vm();
+
+  bool done = false;
+  Status result;
+  control::ScaleOutCoordinator::Callbacks callbacks;
+  callbacks.on_done = [&](Status s) {
+    done = true;
+    result = std::move(s);
+  };
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(callbacks));
+  sps.cluster().simulation()->Schedule(SecondsToSim(1), [&sps, holder_vm] {
+    (void)sps.cluster().membership()->KillVm(holder_vm);
+  });
+  sps.RunUntil(60);
+
+  // The plan aborted in its ship stage; the compensations restored the old
+  // parallelism.
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable());
+  const runtime::ReconfigPlanEvent* aborted = nullptr;
+  for (const auto& plan : sps.metrics().reconfig_plans) {
+    if (plan.aborted) aborted = &plan;
+  }
+  ASSERT_NE(aborted, nullptr);
+  ASSERT_FALSE(aborted->stages.empty());
+  EXPECT_STREQ(aborted->stages.back().stage, "ship");
+  EXPECT_EQ(sps.ParallelismOf(counter), 1u);
+  if (auto* tcp =
+          dynamic_cast<runtime::TcpTransport*>(sps.cluster().transport())) {
+    EXPECT_GE(tcp->disconnects_observed(), 1u);
+  }
+
+  // The holder's own recovery plus the resumed checkpoint schedule yield a
+  // fresh backup; the retry converges.
+  sps.RunUntil(150);
+  ASSERT_TRUE(sps.cluster().backups()->Has(target));
+  bool retry_done = false;
+  Status retry;
+  control::ScaleOutCoordinator::Callbacks retry_callbacks;
+  retry_callbacks.on_done = [&](Status s) {
+    retry_done = true;
+    retry = std::move(s);
+  };
+  sps.scale_out_coordinator().ScaleOutInstance(target, 2, false,
+                                               std::move(retry_callbacks));
+  sps.RunFor(60);
+  ASSERT_TRUE(retry_done);
+  EXPECT_TRUE(retry.ok());
+  EXPECT_EQ(sps.ParallelismOf(counter), 2u);
+
+  for (const auto& v : audit_entries) ADD_FAILURE() << "audit: " << v;
+  EXPECT_EQ(sps.cluster().audit()->violations(), 0u);
 }
 
 TEST(TcpTransportIntegration, ScaleOutPreservesResultsOverTcp) {

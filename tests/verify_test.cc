@@ -361,6 +361,110 @@ TEST(AuditorSinkTest, StampsNotTrackedBelowLevel2) {
   EXPECT_TRUE(c.names.empty());
 }
 
+// ------------------------------------------------ reconfiguration plane
+
+TEST(AuditorPlanTest, CommittedPlanWithAllVmsDisposedIsClean) {
+  Collector c;
+  c.audit.OnPlanStarted(/*plan_id=*/1, kDownOp);
+  c.audit.OnPlanVmAcquired(1, /*vm=*/40);
+  c.audit.OnPlanVmAcquired(1, 41);
+  c.audit.OnPlanVmDisposed(1, 40);
+  c.audit.OnPlanVmDisposed(1, 41);
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/false);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorPlanTest, UndisposedVmTripsNoLeakedVm) {
+  Collector c;
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnPlanVmAcquired(1, 40);
+  c.audit.OnPlanVmAcquired(1, 41);
+  c.audit.OnPlanVmDisposed(1, 40);
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/true);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "no-leaked-vm");
+}
+
+TEST(AuditorPlanTest, SecondPlanForSameOpTripsOnePlanPerOperator) {
+  Collector c;
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnPlanStarted(2, kDownOp);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "one-plan-per-operator");
+  // A plan on a different operator is fine, and once both plans finish the
+  // operator is free for a successor.
+  c.names.clear();
+  c.audit.OnPlanStarted(3, kDownOp + 1);
+  c.audit.OnPlanFinished(2, kDownOp, false);
+  c.audit.OnPlanFinished(1, kDownOp, false);
+  c.audit.OnPlanStarted(4, kDownOp);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorPlanTest, AbortLeavingCheckpointsSuspendedTripsResumeInvariant) {
+  Collector c;
+  c.audit.OnCheckpointsSuspended(kA);
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnPlanSuspendedCheckpoints(1, kA);
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/true);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "checkpoints-resumed-after-abort");
+}
+
+TEST(AuditorPlanTest, AbortAfterResumeIsClean) {
+  Collector c;
+  c.audit.OnCheckpointsSuspended(kA);
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnPlanSuspendedCheckpoints(1, kA);
+  c.audit.OnCheckpointsResumed(kA);
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/true);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorPlanTest, DeadInstanceExemptFromResumeInvariant) {
+  // The suspended instance died mid-plan: its replacement starts a fresh
+  // checkpoint schedule, so the frozen one need not be resumed.
+  Collector c;
+  c.audit.OnCheckpointsSuspended(kA);
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnPlanSuspendedCheckpoints(1, kA);
+  c.audit.OnInstanceDead(kA);
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/true);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorPlanTest, AbortWithChangedRoutesTripsRoutesRestored) {
+  Collector c;
+  c.audit.OnRoutesInstalled(kDownOp, {Route(0, UINT64_MAX, kA)});
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnRoutesInstalled(
+      kDownOp, {Route(0, 99, kA), Route(100, UINT64_MAX, kB)});
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/true);
+  ASSERT_EQ(c.names.size(), 1u);
+  EXPECT_EQ(c.names[0], "routes-restored-on-abort");
+}
+
+TEST(AuditorPlanTest, AbortWithRoutesPutBackIsClean) {
+  Collector c;
+  c.audit.OnRoutesInstalled(kDownOp, {Route(0, UINT64_MAX, kA)});
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnRoutesInstalled(
+      kDownOp, {Route(0, 99, kA), Route(100, UINT64_MAX, kB)});
+  c.audit.OnRoutesInstalled(kDownOp, {Route(0, UINT64_MAX, kA)});
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/true);
+  EXPECT_TRUE(c.names.empty());
+}
+
+TEST(AuditorPlanTest, CommittedPlanMayChangeRoutes) {
+  Collector c;
+  c.audit.OnRoutesInstalled(kDownOp, {Route(0, UINT64_MAX, kA)});
+  c.audit.OnPlanStarted(1, kDownOp);
+  c.audit.OnRoutesInstalled(
+      kDownOp, {Route(0, 99, kA), Route(100, UINT64_MAX, kB)});
+  c.audit.OnPlanFinished(1, kDownOp, /*aborted=*/false);
+  EXPECT_TRUE(c.names.empty());
+}
+
 TEST(AuditorLevelTest, LevelOffIgnoresViolatingStreams) {
   Collector c(kAuditOff);
   c.audit.OnRoutesInstalled(kDownOp, {});

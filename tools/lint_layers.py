@@ -3,8 +3,9 @@
 
 The repo is layered (see DESIGN.md): each directory under src/ may only
 include headers from itself and from the layers listed in LAYER_DEPS. On
-top of the layer map, five seam rules protect the component interfaces
-introduced by the runtime decomposition and the networking subsystem:
+top of the layer map, six seam rules protect the component interfaces
+introduced by the runtime decomposition, the networking subsystem and the
+reconfiguration plane:
 
   * control-no-raw-network: src/control/ must not include sim/network.h.
     Coordinators act on the cluster through the Transport interface; a
@@ -27,6 +28,13 @@ introduced by the runtime decomposition and the networking subsystem:
     workers run off the driver thread and hand frames back through the
     Transport seam; a worker writing sockets directly would bypass both
     the per-link FIFO the chunk protocol assumes and the audit hooks.
+  * coordinator-via-plan-only: src/control/ files other than the
+    reconfiguration plane itself (reconfig_plan.*, reconfig_executor.*)
+    and the initial deployment (deployment_manager.*) must not call
+    Membership::DeployInstance or Cluster::InstallRoutes. Coordinators
+    mutate the cluster exclusively by building ReconfigPlans; a direct
+    deploy/reroute would dodge the plan's compensations and the
+    plan-scoped audit invariants (no-leaked-vm, routes-restored-on-abort).
   * no-upward-dependency: a layer including a header from a higher layer
     (e.g. core including runtime/) — the generic layer-map check.
 
@@ -71,6 +79,16 @@ NET_INCLUDE_ALLOWLIST = {
 # Layers the net library must never see: anything that runs protocol
 # logic or the simulation. net ships opaque framed bytes, nothing more.
 NET_FORBIDDEN_TARGETS = {"runtime", "control", "cloud", "sim"}
+
+# Cluster-mutating calls reserved for the reconfiguration plane (and the
+# initial deployment). Matched against control/ source text, not includes.
+PLAN_ONLY_CALL_RE = re.compile(r"\b(DeployInstance|InstallRoutes)\s*\(")
+
+# control/ files that implement the plan stages (or the pre-plan initial
+# deployment) and may therefore deploy instances and install routes.
+PLAN_ONLY_EXEMPT_STEMS = {
+    "reconfig_plan", "reconfig_executor", "deployment_manager",
+}
 
 
 def quoted_includes(path):
@@ -135,6 +153,18 @@ def lint_tree(src_root):
                     "component-no-cluster-header", where,
                     "runtime component headers forward-declare Cluster; "
                     "only their .cc files may include runtime/cluster.h"))
+        if layer == "control" and path.stem not in PLAN_ONLY_EXEMPT_STEMS:
+            for number, line in enumerate(
+                    path.read_text(errors="replace").splitlines(), start=1):
+                match = PLAN_ONLY_CALL_RE.search(line)
+                if match:
+                    violations.append((
+                        "coordinator-via-plan-only",
+                        f"{src_root}/{rel}:{number}",
+                        f"coordinators must not call {match.group(1)} "
+                        "directly; cluster mutations go through ReconfigPlan "
+                        "stages so compensations and the plan audit "
+                        "invariants see them"))
     return violations
 
 
@@ -148,7 +178,8 @@ def self_test(repo_root):
     found = {rule for rule, _, _ in lint_tree(fixtures)}
     expected = {"no-upward-dependency", "control-no-raw-network",
                 "component-no-cluster-header", "net-isolation",
-                "net-only-in-transport", "ckpt-worker-no-net"}
+                "net-only-in-transport", "ckpt-worker-no-net",
+                "coordinator-via-plan-only"}
     missing = expected - found
     if missing:
         print("lint_layers self-test FAILED; rules that did not fire on "
