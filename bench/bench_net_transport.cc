@@ -9,15 +9,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/rng.h"
 #include "core/tuple.h"
 #include "net/local_cluster.h"
@@ -82,35 +81,37 @@ LoopbackRow BenchLoopback(size_t batch_tuples) {
   const size_t total = std::max<size_t>(500, 65536 / std::max<size_t>(
                                                  1, batch_tuples / 8));
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t received = 0;
-  bool echoed = false;
+  sync::Mutex mu;
+  sync::CondVar cv;
+  size_t received SEEP_GUARDED_BY(mu) = 0;
+  bool echoed SEEP_GUARDED_BY(mu) = false;
 
   net::LocalCluster cluster;
   SEEP_CHECK(cluster
                  .StartWorker(1,
                               [&](net::Message) {
-                                std::lock_guard<std::mutex> lock(mu);
+                                sync::MutexLock lock(&mu);
                                 echoed = true;
-                                cv.notify_all();
+                                cv.NotifyAll();
                               })
                  .ok());
   SEEP_CHECK(cluster
                  .StartWorker(2,
                               [&](net::Message) {
-                                std::lock_guard<std::mutex> lock(mu);
+                                sync::MutexLock lock(&mu);
                                 ++received;
-                                cv.notify_all();
+                                cv.NotifyAll();
                               })
                  .ok());
 
   // Warm-up: establishes the 1->2 connection (connect + hello + first frame).
   SEEP_CHECK(cluster.Post(1, 2, msg) != net::SendStatus::kClosed);
   {
-    std::unique_lock<std::mutex> lock(mu);
-    SEEP_CHECK(cv.wait_for(lock, std::chrono::seconds(10),
-                           [&] { return received >= 1; }));
+    sync::MutexLock lock(&mu);
+    SEEP_CHECK(cv.WaitFor(&mu, std::chrono::seconds(10), [&] {
+      mu.AssertHeld();
+      return received >= 1;
+    }));
   }
 
   // Throughput: flood, retrying briefly when the hard cap rejects a frame.
@@ -121,9 +122,11 @@ LoopbackRow BenchLoopback(size_t batch_tuples) {
     }
   }
   {
-    std::unique_lock<std::mutex> lock(mu);
-    SEEP_CHECK(cv.wait_for(lock, std::chrono::seconds(60),
-                           [&] { return received >= total + 1; }));
+    sync::MutexLock lock(&mu);
+    SEEP_CHECK(cv.WaitFor(&mu, std::chrono::seconds(60), [&] {
+      mu.AssertHeld();
+      return received >= total + 1;
+    }));
   }
   const double flood_us = ElapsedUs(start);
 
@@ -144,13 +147,15 @@ LoopbackRow BenchLoopback(size_t batch_tuples) {
   for (int i = 0; i < kWarmup + kRounds; ++i) {
     const auto ping = Clock::now();
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       echoed = false;
     }
     SEEP_CHECK(cluster.Post(1, 2, msg) != net::SendStatus::kClosed);
-    std::unique_lock<std::mutex> lock(mu);
-    SEEP_CHECK(
-        cv.wait_for(lock, std::chrono::seconds(10), [&] { return echoed; }));
+    sync::MutexLock lock(&mu);
+    SEEP_CHECK(cv.WaitFor(&mu, std::chrono::seconds(10), [&] {
+      mu.AssertHeld();
+      return echoed;
+    }));
     if (i >= kWarmup) rtts.push_back(ElapsedUs(ping));
   }
   std::sort(rtts.begin(), rtts.end());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "core/state_ops.h"
 #include "runtime/operator_instance.h"
 #include "verify/invariant_auditor.h"
@@ -57,6 +58,7 @@ void NotePlanVmDisposed(PlanContext& ctx, VmId vm) {
 }
 
 void SuspendCheckpoints(PlanContext& ctx, InstanceId id) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   runtime::OperatorInstance* inst = ctx.cluster->GetInstance(id);
   SEEP_CHECK(inst != nullptr);
   inst->SuspendCheckpoints();
@@ -72,6 +74,7 @@ void SuspendCheckpoints(PlanContext& ctx, InstanceId id) {
 /// suspended would never back up again, which is exactly the scale-in abort
 /// bug the checkpoints-resumed-after-abort invariant guards against.
 void ResumeSuspended(PlanContext& ctx) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   for (InstanceId id : ctx.suspended) {
     runtime::OperatorInstance* inst = ctx.cluster->GetInstance(id);
     if (inst != nullptr && inst->alive() && !inst->stopped()) {
@@ -419,6 +422,7 @@ ReconfigStage SeedAcksAndReplayStage() {
   ReconfigStage stage;
   stage.kind = StageKind::kSeedAcksAndReplay;
   stage.forward = [](const std::shared_ptr<PlanContext>& ctx, StageDone done) {
+    SEEP_ASSERT_RUN_ON(sync::DriverThread);
     runtime::Cluster* cluster = ctx->cluster;
     std::vector<runtime::OperatorInstance*> upstream;
     for (InstanceId uid : ctx->upstreams) {
@@ -512,6 +516,7 @@ ReconfigStage MergeStage() {
   ReconfigStage stage;
   stage.kind = StageKind::kMerge;
   stage.forward = [](const std::shared_ptr<PlanContext>& ctx, StageDone done) {
+    SEEP_ASSERT_RUN_ON(sync::DriverThread);
     runtime::OperatorInstance* a = ctx->cluster->GetInstance(ctx->merge_a);
     runtime::OperatorInstance* b = ctx->cluster->GetInstance(ctx->merge_b);
     auto merged =
@@ -563,6 +568,7 @@ ReconfigStage SeedAcksAndReplayMergedStage() {
   ReconfigStage stage;
   stage.kind = StageKind::kSeedAcksAndReplay;
   stage.forward = [](const std::shared_ptr<PlanContext>& ctx, StageDone done) {
+    SEEP_ASSERT_RUN_ON(sync::DriverThread);
     const InstanceId new_id = ctx->new_ids[0];
     for (InstanceId uid : ctx->paused_upstreams) {
       runtime::OperatorInstance* u = ctx->cluster->GetInstance(uid);
@@ -637,6 +643,7 @@ ReconfigStage ReplayUpstreamBuffersStage() {
   ReconfigStage stage;
   stage.kind = StageKind::kSeedAcksAndReplay;
   stage.forward = [](const std::shared_ptr<PlanContext>& ctx, StageDone done) {
+    SEEP_ASSERT_RUN_ON(sync::DriverThread);
     runtime::Cluster* cluster = ctx->cluster;
     const InstanceId new_id = ctx->new_ids[0];
 
@@ -662,6 +669,7 @@ ReconfigStage SourceReplayStage() {
   ReconfigStage stage;
   stage.kind = StageKind::kSeedAcksAndReplay;
   stage.forward = [](const std::shared_ptr<PlanContext>& ctx, StageDone done) {
+    SEEP_ASSERT_RUN_ON(sync::DriverThread);
     runtime::Cluster* cluster = ctx->cluster;
     const InstanceId new_id = ctx->new_ids[0];
 

@@ -21,15 +21,26 @@ Connection::Connection(EventLoop* loop, ScopedFd fd, bool connecting,
       state_(connecting ? State::kConnecting : State::kConnected),
       limits_(limits),
       reader_(max_frame_payload) {
+  // Constructed via make_unique, which the static analysis cannot see
+  // through; the runtime assert re-establishes the LoopThread capability.
+  SEEP_ASSERT_RUN_ON(sync::LoopThread);
   ever_connected_ = !connecting;
   // While connecting we wait for writability (connect completion); once
   // connected we always want readability and add writability on demand.
   want_write_ = connecting;
   loop_->AddFd(fd_.get(), EPOLLIN | (want_write_ ? EPOLLOUT : 0u),
-               [this](uint32_t events) { OnEvents(events); });
+               [this](uint32_t events) {
+                 SEEP_ASSERT_RUN_ON(sync::LoopThread);
+                 OnEvents(events);
+               });
 }
 
-Connection::~Connection() { Close(); }
+Connection::~Connection() {
+  // Destroyed through unique_ptr (opaque to the static analysis); assert
+  // the affinity at runtime instead of annotating the destructor.
+  SEEP_ASSERT_RUN_ON(sync::LoopThread);
+  Close();
+}
 
 SendStatus Connection::Send(std::vector<uint8_t> frame) {
   if (state_ == State::kClosed) return SendStatus::kClosed;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -32,7 +33,8 @@ struct QueueLimits {
 };
 
 /// One non-blocking TCP stream, owned by and confined to an EventLoop
-/// thread. Handles connect completion, a bounded outbound write queue,
+/// thread (every method and both callbacks run under the LoopThread
+/// capability). Handles connect completion, a bounded outbound write queue,
 /// incremental frame reassembly on the inbound side, and error/EOF
 /// detection. Reconnect policy lives in Worker; a Connection dies once and
 /// reports it.
@@ -44,7 +46,8 @@ class Connection {
 
   /// Takes ownership of `fd`, which is either connecting (client side) or
   /// already established (accepted side). Registers with `loop`; must be
-  /// called on the loop thread, as must every other method.
+  /// called on the loop thread (runtime-checked), as must every other
+  /// method.
   Connection(EventLoop* loop, ScopedFd fd, bool connecting,
              QueueLimits limits, uint64_t max_frame_payload);
   ~Connection();
@@ -52,52 +55,68 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  void set_on_frame(FrameCallback cb) { on_frame_ = std::move(cb); }
+  void set_on_frame(FrameCallback cb) SEEP_RUN_ON(sync::LoopThread) {
+    on_frame_ = std::move(cb);
+  }
   /// Fires exactly once, after the fd is deregistered. The callback may
   /// delete this Connection.
-  void set_on_close(CloseCallback cb) { on_close_ = std::move(cb); }
+  void set_on_close(CloseCallback cb) SEEP_RUN_ON(sync::LoopThread) {
+    on_close_ = std::move(cb);
+  }
 
   /// Queues an already-framed message for writing. Frames queued while still
   /// connecting flush in order once the connect completes.
-  SendStatus Send(std::vector<uint8_t> frame);
+  SendStatus Send(std::vector<uint8_t> frame) SEEP_RUN_ON(sync::LoopThread);
 
   /// Deregisters from the loop and closes the socket. Pending outbound
   /// frames are dropped (a closing link makes no delivery promises — the
   /// recovery protocol does). Fires on_close unless it already fired.
-  void Close();
+  void Close() SEEP_RUN_ON(sync::LoopThread);
 
-  bool connected() const { return state_ == State::kConnected; }
-  bool closed() const { return state_ == State::kClosed; }
+  bool connected() const SEEP_RUN_ON(sync::LoopThread) {
+    return state_ == State::kConnected;
+  }
+  bool closed() const SEEP_RUN_ON(sync::LoopThread) {
+    return state_ == State::kClosed;
+  }
   /// Whether the connect ever completed (distinguishes an established link
   /// that died from one that never came up, for backoff policy).
-  bool ever_connected() const { return ever_connected_; }
-  size_t queued_bytes() const { return queued_bytes_; }
-  size_t frames_dropped() const { return frames_dropped_; }
+  bool ever_connected() const SEEP_RUN_ON(sync::LoopThread) {
+    return ever_connected_;
+  }
+  size_t queued_bytes() const SEEP_RUN_ON(sync::LoopThread) {
+    return queued_bytes_;
+  }
+  size_t frames_dropped() const SEEP_RUN_ON(sync::LoopThread) {
+    return frames_dropped_;
+  }
 
  private:
   enum class State : uint8_t { kConnecting, kConnected, kClosed };
 
-  void OnEvents(uint32_t events);
-  void HandleConnectComplete();
-  void HandleReadable();
-  void FlushWrites();
-  void UpdateInterest();
+  void OnEvents(uint32_t events) SEEP_RUN_ON(sync::LoopThread);
+  void HandleConnectComplete() SEEP_RUN_ON(sync::LoopThread);
+  void HandleReadable() SEEP_RUN_ON(sync::LoopThread);
+  void FlushWrites() SEEP_RUN_ON(sync::LoopThread);
+  void UpdateInterest() SEEP_RUN_ON(sync::LoopThread);
 
-  EventLoop* loop_;
-  ScopedFd fd_;
-  State state_;
-  QueueLimits limits_;
+  EventLoop* const loop_;
+  ScopedFd fd_ SEEP_GUARDED_BY(sync::LoopThread);
+  State state_ SEEP_GUARDED_BY(sync::LoopThread);
+  const QueueLimits limits_;
 
-  FrameReader reader_;
-  FrameCallback on_frame_;
-  CloseCallback on_close_;
+  FrameReader reader_ SEEP_GUARDED_BY(sync::LoopThread);
+  FrameCallback on_frame_ SEEP_GUARDED_BY(sync::LoopThread);
+  CloseCallback on_close_ SEEP_GUARDED_BY(sync::LoopThread);
 
-  std::deque<std::vector<uint8_t>> write_queue_;
-  size_t write_offset_ = 0;  // bytes of write_queue_.front() already sent
-  size_t queued_bytes_ = 0;
-  size_t frames_dropped_ = 0;
-  bool want_write_ = false;
-  bool ever_connected_ = false;
+  std::deque<std::vector<uint8_t>> write_queue_
+      SEEP_GUARDED_BY(sync::LoopThread);
+  // Bytes of write_queue_.front() already sent.
+  size_t write_offset_ SEEP_GUARDED_BY(sync::LoopThread) = 0;
+  size_t queued_bytes_ SEEP_GUARDED_BY(sync::LoopThread) = 0;
+  size_t frames_dropped_ SEEP_GUARDED_BY(sync::LoopThread) = 0;
+  bool want_write_ SEEP_GUARDED_BY(sync::LoopThread) = false;
+  bool ever_connected_ SEEP_GUARDED_BY(sync::LoopThread) = false;
 };
 
 }  // namespace seep::net

@@ -2,11 +2,11 @@
 #define SEEP_NET_ENDPOINT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "common/sync.h"
 
 namespace seep::net {
 
@@ -17,26 +17,26 @@ namespace seep::net {
 /// read it while the harness thread registers/unregisters.
 class EndpointRegistry {
  public:
-  void Register(VmId vm, uint16_t port) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Register(VmId vm, uint16_t port) SEEP_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
     ports_[vm] = port;
   }
 
-  void Unregister(VmId vm) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Unregister(VmId vm) SEEP_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
     ports_.erase(vm);
   }
 
-  std::optional<uint16_t> Lookup(VmId vm) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<uint16_t> Lookup(VmId vm) const SEEP_EXCLUDES(mu_) {
+    sync::MutexLock lock(&mu_);
     auto it = ports_.find(vm);
     if (it == ports_.end()) return std::nullopt;
     return it->second;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<VmId, uint16_t> ports_;
+  mutable sync::Mutex mu_;
+  std::unordered_map<VmId, uint16_t> ports_ SEEP_GUARDED_BY(mu_);
 };
 
 }  // namespace seep::net

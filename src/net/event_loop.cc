@@ -51,7 +51,7 @@ void EventLoop::Stop() {
 
 void EventLoop::Post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    sync::MutexLock lock(&tasks_mu_);
     tasks_.push_back(std::move(task));
   }
   Wakeup();
@@ -106,7 +106,10 @@ void EventLoop::FireDueTimers() {
 }
 
 void EventLoop::Run() {
-  loop_thread_ = std::this_thread::get_id();
+  // The calling thread is the loop thread for the duration of Run: it holds
+  // the LoopThread capability, unlocking the loop-confined methods/state.
+  sync::ScopedThreadRole role(sync::LoopThread);
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
     const int n =
@@ -128,11 +131,12 @@ void EventLoop::Run() {
     // were dispatched above, never the other way around.
     std::vector<Task> tasks;
     {
-      std::lock_guard<std::mutex> lock(tasks_mu_);
+      sync::MutexLock lock(&tasks_mu_);
       tasks.swap(tasks_);
     }
     for (Task& task : tasks) task();
   }
+  loop_thread_.store(std::thread::id(), std::memory_order_release);
 }
 
 }  // namespace seep::net

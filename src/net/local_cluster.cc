@@ -15,7 +15,7 @@ Status LocalCluster::StartWorker(VmId vm, Worker::MessageCallback on_message,
   worker->set_on_peer_disconnect(std::move(on_peer_disconnect));
   worker->set_on_frames_dropped(std::move(on_frames_dropped));
   SEEP_RETURN_IF_ERROR(worker->Start());
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   workers_[vm] = std::move(worker);
   return Status::OK();
 }
@@ -23,7 +23,7 @@ Status LocalCluster::StartWorker(VmId vm, Worker::MessageCallback on_message,
 void LocalCluster::KillWorker(VmId vm) {
   std::unique_ptr<Worker> worker;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     auto it = workers_.find(vm);
     if (it == workers_.end()) return;
     worker = std::move(it->second);
@@ -32,19 +32,19 @@ void LocalCluster::KillWorker(VmId vm) {
   // Kill outside the lock: it joins the worker thread, whose callbacks may
   // be blocked in code that queries this cluster.
   worker->Kill();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Accumulate(*worker);
 }
 
 SendStatus LocalCluster::Post(VmId from, VmId to, const Message& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = workers_.find(from);
   if (it == workers_.end()) return SendStatus::kClosed;
   return it->second->Post(to, msg);
 }
 
 bool LocalCluster::IsAttached(VmId vm) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return workers_.count(vm) > 0;
 }
 
@@ -56,7 +56,7 @@ void LocalCluster::Accumulate(const Worker& worker) const {
 }
 
 LocalCluster::Stats LocalCluster::TotalStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Stats total = frozen_;
   for (const auto& [vm, worker] : workers_) {
     const Worker::Stats& s = worker->stats();
@@ -70,12 +70,12 @@ LocalCluster::Stats LocalCluster::TotalStats() const {
 void LocalCluster::Shutdown() {
   std::vector<std::unique_ptr<Worker>> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     for (auto& [vm, worker] : workers_) doomed.push_back(std::move(worker));
     workers_.clear();
   }
   for (auto& worker : doomed) worker->Kill();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (const auto& worker : doomed) Accumulate(*worker);
 }
 

@@ -2,11 +2,11 @@
 #define SEEP_NET_LOCAL_CLUSTER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/endpoint.h"
 #include "net/worker.h"
 
@@ -28,18 +28,20 @@ class LocalCluster {
   /// the worker starts, so no delivery can be missed.
   Status StartWorker(VmId vm, Worker::MessageCallback on_message,
                      Worker::PeerCallback on_peer_disconnect = nullptr,
-                     Worker::DropCallback on_frames_dropped = nullptr);
+                     Worker::DropCallback on_frames_dropped = nullptr)
+      SEEP_EXCLUDES(mu_);
 
   /// Hard-kills `vm`'s worker: sockets close mid-stream, peers observe a
   /// dead TCP peer. No-op for an unknown VM.
-  void KillWorker(VmId vm);
+  void KillWorker(VmId vm) SEEP_EXCLUDES(mu_);
 
   /// Sends `msg` from `from`'s worker to `to`. Returns kClosed if `from` has
   /// no live worker.
-  SendStatus Post(VmId from, VmId to, const Message& msg);
+  SendStatus Post(VmId from, VmId to, const Message& msg)
+      SEEP_EXCLUDES(mu_);
 
   /// Whether `vm` currently has a live worker.
-  bool IsAttached(VmId vm) const;
+  bool IsAttached(VmId vm) const SEEP_EXCLUDES(mu_);
 
   /// Aggregate counters across live workers (killed workers' counts are
   /// frozen into the totals at kill time).
@@ -48,22 +50,25 @@ class LocalCluster {
     uint64_t frames_dropped = 0;
     uint64_t peer_disconnects = 0;
   };
-  Stats TotalStats() const;
+  Stats TotalStats() const SEEP_EXCLUDES(mu_);
 
   /// Kills every worker.
-  void Shutdown();
+  void Shutdown() SEEP_EXCLUDES(mu_);
 
   EndpointRegistry* registry() { return &registry_; }
 
  private:
-  void Accumulate(const Worker& worker) const;
+  void Accumulate(const Worker& worker) const SEEP_REQUIRES(mu_);
 
   const WorkerOptions options_;
-  EndpointRegistry registry_;
+  EndpointRegistry registry_
+      SEEP_UNGUARDED("internally synchronised (its own mu_; endpoint.h)");
 
-  mutable std::mutex mu_;
-  std::unordered_map<VmId, std::unique_ptr<Worker>> workers_;
-  mutable Stats frozen_;  // counters of workers killed so far
+  mutable sync::Mutex mu_;
+  std::unordered_map<VmId, std::unique_ptr<Worker>> workers_
+      SEEP_GUARDED_BY(mu_);
+  // Counters of workers killed so far.
+  mutable Stats frozen_ SEEP_GUARDED_BY(mu_);
 };
 
 }  // namespace seep::net

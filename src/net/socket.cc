@@ -17,8 +17,12 @@ namespace seep::net {
 namespace {
 
 Status Errno(const char* what) {
-  return Status::Internal(std::string(what) + ": " +
-                          std::strerror(errno));
+  // strerror(3) shares a static buffer across threads and this path runs
+  // on every event-loop thread; format into a local buffer instead. The
+  // GNU strerror_r returns the message pointer (which may ignore buf).
+  char buf[128] = {};
+  const char* msg = strerror_r(errno, buf, sizeof(buf));
+  return Status::Internal(std::string(what) + ": " + msg);
 }
 
 Status SetNonBlocking(int fd) {

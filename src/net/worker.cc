@@ -20,8 +20,16 @@ Status Worker::Start() {
   registry_->Register(vm_, port_);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] {
-    loop_.AddFd(listener_.get(), EPOLLIN,
-                [this](uint32_t) { OnListenerReadable(); });
+    {
+      // This thread is the loop thread from birth, so it may adopt the role
+      // before Run (which re-adopts for its own duration) to register the
+      // listener.
+      sync::ScopedThreadRole role(sync::LoopThread);
+      loop_.AddFd(listener_.get(), EPOLLIN, [this](uint32_t) {
+        SEEP_ASSERT_RUN_ON(sync::LoopThread);
+        OnListenerReadable();
+      });
+    }
     loop_.Run();
   });
   return Status::OK();
@@ -40,6 +48,9 @@ void Worker::Kill() {
   registry_->Unregister(vm_);
   loop_.Stop();
   if (thread_.joinable()) thread_.join();
+  // The loop thread is gone; this thread is now the sole owner of the
+  // loop-confined state, so it adopts the role for the teardown.
+  sync::ScopedThreadRole role(sync::LoopThread);
   for (auto& [to, link] : links_) {
     if (link.conn) link.conn->set_on_close(nullptr);
   }
@@ -65,6 +76,7 @@ SendStatus Worker::Post(VmId to, const Message& msg) {
     return SendStatus::kOverflow;
   }
   loop_.Post([this, to, frame = std::move(frame), frame_bytes]() mutable {
+    SEEP_ASSERT_RUN_ON(sync::LoopThread);
     posted_bytes_.fetch_sub(frame_bytes, std::memory_order_relaxed);
     SendOnLink(to, std::move(frame));
     queued_snapshot_.store(TotalQueuedBytes(), std::memory_order_relaxed);
@@ -129,8 +141,10 @@ void Worker::TryConnect(VmId to) {
   link.conn = std::make_unique<Connection>(
       &loop_, std::move(fd).value(), /*connecting=*/true,
       options_.queue_limits, options_.max_frame_payload);
-  link.conn->set_on_close(
-      [this, to](Connection* conn) { OnOutboundClosed(to, conn); });
+  link.conn->set_on_close([this, to](Connection* conn) {
+    SEEP_ASSERT_RUN_ON(sync::LoopThread);
+    OnOutboundClosed(to, conn);
+  });
   // First frame on every outbound link: who we are, so the receiver can
   // attribute a later disconnect of this link to our VmId.
   Message hello;
@@ -160,7 +174,10 @@ void Worker::OnOutboundClosed(VmId to, Connection* conn) {
   // Defer destruction: this callback runs inside the connection's own event
   // handling, and the loop drains posted tasks only after unwinding it.
   graveyard_.push_back(std::move(link.conn));
-  loop_.Post([this] { graveyard_.clear(); });
+  loop_.Post([this] {
+    SEEP_ASSERT_RUN_ON(sync::LoopThread);
+    graveyard_.clear();
+  });
   // A link that had come up earns a fresh backoff schedule; one that never
   // connected keeps climbing towards the cap.
   link.failures = conn->ever_connected() ? 0 : link.failures + 1;
@@ -176,6 +193,7 @@ void Worker::ScheduleRetry(VmId to) {
   const auto delay = std::min(options_.backoff_initial * (1u << shift),
                               options_.backoff_cap);
   loop_.AddTimer(delay, [this, to] {
+    SEEP_ASSERT_RUN_ON(sync::LoopThread);
     auto it = links_.find(to);
     if (it == links_.end()) return;
     it->second.retry_scheduled = false;
@@ -194,10 +212,13 @@ void Worker::OnListenerReadable() {
         options_.queue_limits, options_.max_frame_payload);
     in->conn->set_on_frame(
         [this](Connection* conn, std::vector<uint8_t> payload) {
+          SEEP_ASSERT_RUN_ON(sync::LoopThread);
           OnInboundFrame(conn, std::move(payload));
         });
-    in->conn->set_on_close(
-        [this](Connection* conn) { OnInboundClosed(conn); });
+    in->conn->set_on_close([this](Connection* conn) {
+      SEEP_ASSERT_RUN_ON(sync::LoopThread);
+      OnInboundClosed(conn);
+    });
     inbound_.push_back(std::move(in));
   }
 }
@@ -232,7 +253,10 @@ void Worker::OnInboundClosed(Connection* conn) {
     stats_.peer_disconnects.fetch_add(1, std::memory_order_relaxed);
     // Deferred destruction, as for outbound links.
     graveyard_.push_back(std::move((*it)->conn));
-    loop_.Post([this] { graveyard_.clear(); });
+    loop_.Post([this] {
+      SEEP_ASSERT_RUN_ON(sync::LoopThread);
+      graveyard_.clear();
+    });
     inbound_.erase(it);
     if (peer != kInvalidVm && on_peer_disconnect_) on_peer_disconnect_(peer);
     return;

@@ -12,6 +12,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/connection.h"
 #include "net/endpoint.h"
 #include "net/event_loop.h"
@@ -111,43 +112,55 @@ class Worker {
     VmId peer = kInvalidVm;
   };
 
-  void OnListenerReadable();
-  void SendOnLink(VmId to, std::vector<uint8_t> frame);
-  void TryConnect(VmId to);
-  void OnOutboundClosed(VmId to, Connection* conn);
-  void ScheduleRetry(VmId to);
-  void OnInboundFrame(Connection* conn, std::vector<uint8_t> payload);
-  void OnInboundClosed(Connection* conn);
-  void DropFrames(VmId to, size_t n);
-  size_t TotalQueuedBytes() const;
+  void OnListenerReadable() SEEP_RUN_ON(sync::LoopThread);
+  void SendOnLink(VmId to, std::vector<uint8_t> frame)
+      SEEP_RUN_ON(sync::LoopThread);
+  void TryConnect(VmId to) SEEP_RUN_ON(sync::LoopThread);
+  void OnOutboundClosed(VmId to, Connection* conn)
+      SEEP_RUN_ON(sync::LoopThread);
+  void ScheduleRetry(VmId to) SEEP_RUN_ON(sync::LoopThread);
+  void OnInboundFrame(Connection* conn, std::vector<uint8_t> payload)
+      SEEP_RUN_ON(sync::LoopThread);
+  void OnInboundClosed(Connection* conn) SEEP_RUN_ON(sync::LoopThread);
+  void DropFrames(VmId to, size_t n) SEEP_RUN_ON(sync::LoopThread);
+  size_t TotalQueuedBytes() const SEEP_RUN_ON(sync::LoopThread);
 
   const VmId vm_;
   EndpointRegistry* const registry_;
   const WorkerOptions options_;
 
-  MessageCallback on_message_;
-  PeerCallback on_peer_disconnect_;
-  DropCallback on_frames_dropped_;
+  MessageCallback on_message_
+      SEEP_UNGUARDED("set before Start, immutable while the loop runs");
+  PeerCallback on_peer_disconnect_
+      SEEP_UNGUARDED("set before Start, immutable while the loop runs");
+  DropCallback on_frames_dropped_
+      SEEP_UNGUARDED("set before Start, immutable while the loop runs");
 
-  EventLoop loop_;
-  std::thread thread_;
-  ScopedFd listener_;
-  uint16_t port_ = 0;
+  EventLoop loop_ SEEP_UNGUARDED("internally synchronised; event_loop.h");
+  std::thread thread_
+      SEEP_UNGUARDED("owned exclusively by the harness thread (Start/Kill)");
+  ScopedFd listener_
+      SEEP_UNGUARDED("set in Start before the loop thread exists, read-only "
+                     "after; reset in Kill after the join");
+  uint16_t port_
+      SEEP_UNGUARDED("set in Start before the loop thread exists") = 0;
   std::atomic<bool> running_{false};
 
-  // Loop-thread state.
-  std::unordered_map<VmId, Link> links_;
-  std::vector<std::unique_ptr<Inbound>> inbound_;
+  // Loop-thread state (Kill re-adopts the role after joining the loop).
+  std::unordered_map<VmId, Link> links_ SEEP_GUARDED_BY(sync::LoopThread);
+  std::vector<std::unique_ptr<Inbound>> inbound_
+      SEEP_GUARDED_BY(sync::LoopThread);
   // Connections whose close callback fired mid-event: parked here and freed
   // by a posted task, after the loop unwinds out of their callbacks.
-  std::vector<std::unique_ptr<Connection>> graveyard_;
+  std::vector<std::unique_ptr<Connection>> graveyard_
+      SEEP_GUARDED_BY(sync::LoopThread);
 
   // Approximate outbound backlog for pressure reporting: posted-but-not-yet-
   // processed bytes plus a loop-thread-maintained snapshot of queued bytes.
   std::atomic<size_t> posted_bytes_{0};
   std::atomic<size_t> queued_snapshot_{0};
 
-  Stats stats_;
+  Stats stats_ SEEP_UNGUARDED("all members are monotonic atomics");
 };
 
 }  // namespace seep::net

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/sync.h"
+
 #include "runtime/cluster.h"
 #include "runtime/operator_instance.h"
 
@@ -12,6 +14,7 @@ void CheckpointPlane::StartSchedule() { ScheduleTimer(); }
 void CheckpointPlane::ScheduleTimer() {
   cluster_->simulation()->Schedule(
       cluster_->config().checkpoint_interval, [this]() {
+        SEEP_ASSERT_RUN_ON(sync::DriverThread);
         if (!inst_->alive() || inst_->stopped()) return;
         if (!suspended_) {
           JobScheduler::Job job;

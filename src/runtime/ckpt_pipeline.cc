@@ -116,13 +116,21 @@ CkptSerializer::CkptSerializer(sim::Simulation* sim, bool threaded,
       on_done_(std::move(on_done)) {}
 
 CkptSerializer::~CkptSerializer() {
+  // Flip the stop flags and move the thread handles out under the lock,
+  // then join outside it: workers reacquire mu_ to publish their last frame
+  // before exiting, and workers_ itself is mu_-guarded state the old code
+  // iterated unlocked (lint rule: every workers_ access holds mu_).
+  std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [vm, ws] : workers_) ws->stop = true;
+    sync::MutexLock lock(&mu_);
+    for (auto& [vm, ws] : workers_) {
+      ws->stop = true;
+      threads.push_back(std::move(ws->thread));
+    }
   }
-  cv_.notify_all();
-  for (auto& [vm, ws] : workers_) {
-    if (ws->thread.joinable()) ws->thread.join();
+  cv_.NotifyAll();
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -149,6 +157,9 @@ SerializedCkptFrame CkptSerializer::BuildFrame(const Job& job, bool compress) {
 }
 
 void CkptSerializer::Submit(Job job) {
+  // Submit mutates driver-confined accounting (outstanding_) and, in sim
+  // mode, schedules events: both are driver-thread-only operations.
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   ++outstanding_;
   if (!threaded_) {
     // Deterministic deferral: charge the modeled serialization cost as a
@@ -157,13 +168,14 @@ void CkptSerializer::Submit(Job job) {
     const SimTime delay = cost_ ? cost_(job.snapshot) : 0;
     auto shared = std::make_shared<Job>(std::move(job));
     sim_->Schedule(delay, [this, shared]() {
+      SEEP_ASSERT_RUN_ON(sync::DriverThread);
       --outstanding_;
       on_done_(BuildFrame(*shared, compress_));
     });
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     std::unique_ptr<WorkerState>& ws = workers_[job.vm];
     if (ws == nullptr) {
       ws = std::make_unique<WorkerState>();
@@ -171,17 +183,24 @@ void CkptSerializer::Submit(Job job) {
     }
     ws->queue.push_back(std::move(job));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (!pump_scheduled_) {
     pump_scheduled_ = true;
-    sim_->Schedule(pump_interval_, [this]() { Pump(); });
+    sim_->Schedule(pump_interval_, [this]() {
+      SEEP_ASSERT_RUN_ON(sync::DriverThread);
+      Pump();
+    });
   }
 }
 
 void CkptSerializer::Pump() {
+  // The done-queue drain re-enters protocol code through on_done_; draining
+  // it from any thread but the driver would hand checkpoint completions to
+  // a thread that must not touch protocol state.
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   std::deque<SerializedCkptFrame> ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     ready.swap(done_);
   }
   for (SerializedCkptFrame& frame : ready) {
@@ -191,24 +210,31 @@ void CkptSerializer::Pump() {
   // Keep polling only while work is in flight, so a quiesced simulation
   // (RunAll) is not kept alive by an idle heartbeat.
   if (outstanding_ > 0) {
-    sim_->Schedule(pump_interval_, [this]() { Pump(); });
+    sim_->Schedule(pump_interval_, [this]() {
+      SEEP_ASSERT_RUN_ON(sync::DriverThread);
+      Pump();
+    });
   } else {
     pump_scheduled_ = false;
   }
 }
 
 void CkptSerializer::WorkerLoop(WorkerState* ws) {
+  sync::ScopedThreadRole role(sync::CkptWorkerThread);
   while (true) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [ws]() { return ws->stop || !ws->queue.empty(); });
+      sync::MutexLock lock(&mu_);
+      cv_.Wait(&mu_, [this, ws]() {
+        mu_.AssertHeld();
+        return ws->stop || !ws->queue.empty();
+      });
       if (ws->stop && ws->queue.empty()) return;
       job = std::move(ws->queue.front());
       ws->queue.pop_front();
     }
     SerializedCkptFrame frame = BuildFrame(job, compress_);
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     done_.push_back(std::move(frame));
   }
 }

@@ -1,13 +1,11 @@
 #ifndef SEEP_RUNTIME_CKPT_PIPELINE_H_
 #define SEEP_RUNTIME_CKPT_PIPELINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <tuple>
@@ -15,6 +13,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/time.h"
 #include "core/state.h"
 #include "serde/decoder.h"
@@ -138,12 +137,15 @@ class CkptSerializer {
   CkptSerializer(const CkptSerializer&) = delete;
   CkptSerializer& operator=(const CkptSerializer&) = delete;
 
-  /// Hands a snapshot to the background stage. Driver thread only.
+  /// Hands a snapshot to the background stage. Driver thread only
+  /// (runtime-checked: submitting from a worker or loop thread aborts).
   void Submit(Job job);
 
   /// Jobs submitted whose completion has not yet been dispatched. Driver
   /// thread only.
-  size_t in_flight() const { return outstanding_; }
+  size_t in_flight() const SEEP_RUN_ON(sync::DriverThread) {
+    return outstanding_;
+  }
 
   /// The pure serialize+compress+frame step, shared by both modes (and unit
   /// tests): encode with an exact reserve, compress when smaller, frame with
@@ -151,31 +153,35 @@ class CkptSerializer {
   static SerializedCkptFrame BuildFrame(const Job& job, bool compress);
 
  private:
+  // A nested struct cannot name the enclosing serializer's mu_ in a
+  // SEEP_GUARDED_BY annotation, so the discipline is recorded as waivers.
   struct WorkerState {
-    std::deque<Job> queue;
-    std::thread thread;
-    bool stop = false;
+    std::deque<Job> queue SEEP_UNGUARDED("guarded by CkptSerializer::mu_");
+    std::thread thread
+        SEEP_UNGUARDED("created under mu_ in Submit; moved out under mu_ "
+                       "and joined by the destructor");
+    bool stop SEEP_UNGUARDED("guarded by CkptSerializer::mu_") = false;
   };
 
-  void Pump();
+  void Pump() SEEP_RUN_ON(sync::DriverThread);
   void WorkerLoop(WorkerState* ws);
 
-  sim::Simulation* sim_;
+  sim::Simulation* const sim_;
   const bool threaded_;
   const bool compress_;
   const SimTime pump_interval_;
-  CostFn cost_;
-  DoneFn on_done_;
+  CostFn cost_ SEEP_UNGUARDED("set in the constructor, immutable after");
+  DoneFn on_done_ SEEP_UNGUARDED("set in the constructor, immutable after");
 
   // Driver-thread state.
-  size_t outstanding_ = 0;
-  bool pump_scheduled_ = false;
+  size_t outstanding_ SEEP_GUARDED_BY(sync::DriverThread) = 0;
+  bool pump_scheduled_ SEEP_GUARDED_BY(sync::DriverThread) = false;
 
   // Shared with worker threads (threaded mode only).
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<VmId, std::unique_ptr<WorkerState>> workers_;
-  std::deque<SerializedCkptFrame> done_;
+  sync::Mutex mu_;
+  sync::CondVar cv_;
+  std::map<VmId, std::unique_ptr<WorkerState>> workers_ SEEP_GUARDED_BY(mu_);
+  std::deque<SerializedCkptFrame> done_ SEEP_GUARDED_BY(mu_);
 };
 
 /// The per-chunk header travelling with each slice of a serialized frame

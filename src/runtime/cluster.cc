@@ -1,5 +1,6 @@
 #include "runtime/cluster.h"
 
+#include "common/sync.h"
 #include "runtime/operator_instance.h"
 
 namespace seep::runtime {
@@ -30,6 +31,9 @@ Cluster::Cluster(const core::QueryGraph* graph, ClusterConfig config)
         return static_cast<SimTime>(kib * config_.serialize_cost_us_per_kb);
       },
       [this](SerializedCkptFrame frame) {
+        // Completions are dispatched by the serializer's driver-side pump
+        // (or a sim event); never directly by a worker thread.
+        SEEP_ASSERT_RUN_ON(sync::DriverThread);
         ShipSerializedCheckpoint(this, std::move(frame));
       });
   if (config_.audit_level > verify::kAuditOff) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "runtime/cluster.h"
 
 namespace seep::runtime {
@@ -60,6 +61,7 @@ double OperatorInstance::CostMicrosPerTuple() const {
 // ------------------------------------------------------------------ lifecycle
 
 void OperatorInstance::Start() {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   if (source_) ScheduleSourceTick();
   if (operator_ && operator_->TimerInterval() > 0) ScheduleWindowTimer();
 
@@ -115,6 +117,7 @@ void OperatorInstance::OnSendPressure() {
 // ------------------------------------------------------------------ job hooks
 
 void OperatorInstance::PrepareJob(JobScheduler::Job* job) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   using Kind = JobScheduler::Job::Kind;
   switch (job->kind) {
     case Kind::kBatch:
@@ -163,6 +166,7 @@ void OperatorInstance::PrepareJob(JobScheduler::Job* job) {
 }
 
 void OperatorInstance::FinishJob(JobScheduler::Job* job) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   using Kind = JobScheduler::Job::Kind;
   switch (job->kind) {
     case Kind::kBatch:
@@ -301,6 +305,7 @@ void OperatorInstance::ScheduleAgeTrim() {
 
 void OperatorInstance::Restore(const core::StateCheckpoint& checkpoint,
                                bool inherit_origin) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   if (inherit_origin) {
     origin_ = checkpoint.origin;
     router_.set_out_clock(checkpoint.out_clock);
@@ -317,6 +322,7 @@ void OperatorInstance::MergeState(const core::ProcessingState& state) {
 }
 
 void OperatorInstance::ResetEmpty(core::OriginId fresh_origin) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   origin_ = fresh_origin;
   router_.Reset();
   positions_ = core::InputPositions();
@@ -331,6 +337,7 @@ void OperatorInstance::ResetEmpty(core::OriginId fresh_origin) {
 void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
                                     const std::vector<InstanceId>& targets,
                                     uint64_t fence_id) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   std::map<InstanceId, core::TupleBatch> outgoing;
   const core::TupleBuffer* tuples = buffer_.Get(down);
   size_t replayed = 0;

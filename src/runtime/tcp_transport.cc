@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "net/local_cluster.h"
 #include "net/wire.h"
 #include "runtime/cluster.h"
@@ -30,24 +29,25 @@ struct TcpTransport::Impl {
 
   net::LocalCluster cluster;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<net::Message> inbox;
-  std::unordered_map<VmId, uint64_t> in_flight;
-  uint64_t total_in_flight = 0;
+  sync::Mutex mu;
+  sync::CondVar cv;
+  std::deque<net::Message> inbox SEEP_GUARDED_BY(mu);
+  std::unordered_map<VmId, uint64_t> in_flight SEEP_GUARDED_BY(mu);
+  uint64_t total_in_flight SEEP_GUARDED_BY(mu) = 0;
 
-  // Sim-thread only: pending ShipState completions, keyed by ship_id.
+  // Pending ShipState completions, keyed by ship_id. Driver thread only —
+  // never touched by the worker-thread callbacks.
   struct ShipEntry {
     VmId to = kInvalidVm;
     std::function<void()> on_delivery;
   };
-  std::unordered_map<uint64_t, ShipEntry> ships;
-  uint64_t next_ship_id = 0;
+  std::unordered_map<uint64_t, ShipEntry> ships
+      SEEP_GUARDED_BY(sync::DriverThread);
+  uint64_t next_ship_id SEEP_GUARDED_BY(sync::DriverThread) = 0;
 
   std::atomic<uint64_t> disconnects{0};
 
-  // Must hold mu.
-  void DecInFlightLocked(VmId vm, uint64_t n) {
+  void DecInFlightLocked(VmId vm, uint64_t n) SEEP_REQUIRES(mu) {
     auto it = in_flight.find(vm);
     if (it == in_flight.end()) return;
     const uint64_t dec = std::min(it->second, n);
@@ -57,9 +57,10 @@ struct TcpTransport::Impl {
 
   /// Queues `msg` on `from`'s worker with in-flight accounting, translating
   /// net-layer status into the transport's pressure signal.
-  SendPressure Ship(VmId from, VmId to, const net::Message& msg) {
+  SendPressure Ship(VmId from, VmId to, const net::Message& msg)
+      SEEP_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       auto it = in_flight.find(to);
       if (it == in_flight.end()) return SendPressure::kNone;  // dead VM
       ++it->second;
@@ -67,9 +68,9 @@ struct TcpTransport::Impl {
     }
     const net::SendStatus st = cluster.Post(from, to, msg);
     if (st == net::SendStatus::kOverflow || st == net::SendStatus::kClosed) {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       DecInFlightLocked(to, 1);
-      cv.notify_one();
+      cv.NotifyOne();
     }
     return st == net::SendStatus::kPressured ? SendPressure::kPressured
                                              : SendPressure::kNone;
@@ -111,10 +112,10 @@ void TcpTransport::AttachVm(VmId vm) {
       vm,
       /*on_message=*/
       [impl, vm](net::Message msg) {
-        std::lock_guard<std::mutex> lock(impl->mu);
+        sync::MutexLock lock(&impl->mu);
         impl->DecInFlightLocked(vm, 1);
         impl->inbox.push_back(std::move(msg));
-        impl->cv.notify_one();
+        impl->cv.NotifyOne();
       },
       /*on_peer_disconnect=*/
       [impl](VmId) {
@@ -122,26 +123,27 @@ void TcpTransport::AttachVm(VmId vm) {
       },
       /*on_frames_dropped=*/
       [impl](VmId peer, size_t n) {
-        std::lock_guard<std::mutex> lock(impl->mu);
+        sync::MutexLock lock(&impl->mu);
         impl->DecInFlightLocked(peer, n);
-        impl->cv.notify_one();
+        impl->cv.NotifyOne();
       });
   SEEP_CHECK(started.ok());
-  std::lock_guard<std::mutex> lock(impl->mu);
+  sync::MutexLock lock(&impl->mu);
   impl->in_flight.try_emplace(vm, 0);
 }
 
 void TcpTransport::DetachVm(VmId vm) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   cluster_->network()->Detach(vm);
   // Kill first (joins the worker thread), then zero the accounting: frames
   // already handed to this VM's kernel buffers die unobserved, and the
   // pump must not wait for them.
   impl_->cluster.KillWorker(vm);
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    sync::MutexLock lock(&impl_->mu);
     impl_->DecInFlightLocked(vm, UINT64_MAX);
     impl_->in_flight.erase(vm);
-    impl_->cv.notify_one();
+    impl_->cv.NotifyOne();
   }
   // Pending state shipments to the dead VM will never complete (sim
   // parity: sim::Network drops deliveries to detached endpoints).
@@ -276,6 +278,7 @@ void TcpTransport::ShipCheckpointFrame(OperatorInstance* owner,
 
 void TcpTransport::ShipState(VmId from, VmId to, uint64_t size_bytes,
                              std::function<void()> on_delivery) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   const uint64_t id = ++impl_->next_ship_id;
   net::Message msg;
   msg.type = net::MessageType::kStateShip;
@@ -293,20 +296,27 @@ void TcpTransport::ShipState(VmId from, VmId to, uint64_t size_bytes,
   msg.body = std::move(enc).TakeBuffer();
 
   impl_->ships[id] = Impl::ShipEntry{to, std::move(on_delivery)};
+  bool dead = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    sync::MutexLock lock(&impl_->mu);
     auto it = impl_->in_flight.find(to);
     if (it == impl_->in_flight.end()) {
-      impl_->ships.erase(id);  // dead destination: delivery never happens
-      return;
+      dead = true;  // dead destination: delivery never happens
+    } else {
+      ++it->second;
+      ++impl_->total_in_flight;
     }
-    ++it->second;
-    ++impl_->total_in_flight;
+  }
+  if (dead) {
+    impl_->ships.erase(id);
+    return;
   }
   const net::SendStatus st = impl_->cluster.Post(from, to, msg);
   if (st == net::SendStatus::kOverflow || st == net::SendStatus::kClosed) {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->DecInFlightLocked(to, 1);
+    {
+      sync::MutexLock lock(&impl_->mu);
+      impl_->DecInFlightLocked(to, 1);
+    }
     impl_->ships.erase(id);
   }
 }
@@ -317,18 +327,22 @@ void TcpTransport::SchedulePump() {
 }
 
 void TcpTransport::Pump() {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   std::deque<net::Message> drained;
   {
-    std::unique_lock<std::mutex> lock(impl_->mu);
+    sync::MutexLock lock(&impl_->mu);
     // Bound the sim-time skew between send and delivery: while messages are
     // in flight, give them a short wall-clock window to land before sim
     // time advances past this pump. The wait is bounded, so a stalled link
     // (reconnect backoff, dead peer mid-detach) delays the simulation by at
     // most pump_wait_micros per pump instead of wedging it.
-    impl_->cv.wait_for(
-        lock, std::chrono::microseconds(config_.pump_wait_micros), [this] {
-          return impl_->total_in_flight == 0 || !impl_->inbox.empty();
-        });
+    impl_->cv.WaitFor(&impl_->mu,
+                      std::chrono::microseconds(config_.pump_wait_micros),
+                      [this] {
+                        impl_->mu.AssertHeld();
+                        return impl_->total_in_flight == 0 ||
+                               !impl_->inbox.empty();
+                      });
     drained.swap(impl_->inbox);
   }
   for (net::Message& msg : drained) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "core/state_ops.h"
 #include "runtime/cluster.h"
 #include "runtime/operator_instance.h"
@@ -27,6 +28,7 @@ InstanceId ChooseBackupHolder(const Cluster* cluster,
 void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
                                OperatorId owner_op, InstanceId holder_id,
                                uint64_t bytes, core::StateCheckpoint ckpt) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   Membership* members = cluster->membership();
   MetricsRegistry* metrics = cluster->metrics();
   const SimTime taken_at = ckpt.taken_at;
@@ -104,6 +106,7 @@ void Transport::ShipBackup(OperatorInstance* owner, CheckpointShipment ship) {
 }
 
 void ShipSerializedCheckpoint(Cluster* cluster, SerializedCkptFrame frame) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   MetricsRegistry* metrics = cluster->metrics();
   OperatorInstance* owner = cluster->GetInstance(frame.owner);
   if (owner == nullptr || !owner->alive() || owner->stopped() ||
@@ -125,6 +128,7 @@ void ShipSerializedCheckpoint(Cluster* cluster, SerializedCkptFrame frame) {
 
 void DeliverCheckpointChunk(Cluster* cluster, const CkptChunkHeader& header,
                             const uint8_t* data, size_t n) {
+  SEEP_ASSERT_RUN_ON(sync::DriverThread);
   MetricsRegistry* metrics = cluster->metrics();
   ++metrics->async_ckpt_chunks;
   if (auto* audit = cluster->audit()) {

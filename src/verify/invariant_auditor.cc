@@ -8,6 +8,8 @@
 namespace seep::verify {
 
 int DefaultAuditLevel() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup, before
+  // any worker thread exists; nothing in the process calls setenv.
   if (const char* env = std::getenv("SEEP_AUDIT"); env != nullptr) {
     const int level = std::atoi(env);
     return std::clamp(level, 0, 2);

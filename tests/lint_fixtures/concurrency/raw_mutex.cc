@@ -1,0 +1,13 @@
+// Fixture: violates no-raw-mutex. A std::mutex outside common/sync.h is
+// invisible to the thread safety analysis, the holder bookkeeping, and the
+// lock-order manifest. Never compiled.
+#include <mutex>
+
+struct RawLocker {
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++count;
+  }
+  std::mutex mu;
+  int count = 0;
+};

@@ -1,0 +1,21 @@
+// Fixture: violates unannotated-member (and waiver-needs-reason). The
+// spawning struct has one mutable member with neither a SEEP_GUARDED_BY
+// nor a SEEP_UNGUARDED waiver, and one waiver with an empty reason.
+// Never compiled.
+#ifndef SEEP_TESTS_LINT_FIXTURES_CONCURRENCY_UNANNOTATED_MEMBER_H_
+#define SEEP_TESTS_LINT_FIXTURES_CONCURRENCY_UNANNOTATED_MEMBER_H_
+
+#include <cstddef>
+#include <thread>
+
+struct SpawnsAThread {
+  void Start();
+
+  // unannotated-member: mutated by the spawned thread, no annotation.
+  size_t frames_seen_;
+  // waiver-needs-reason: an empty reason is a suppression, not a decision.
+  size_t frames_dropped_ SEEP_UNGUARDED("");
+  std::thread thread_ SEEP_UNGUARDED("owned exclusively by the starter");
+};
+
+#endif  // SEEP_TESTS_LINT_FIXTURES_CONCURRENCY_UNANNOTATED_MEMBER_H_

@@ -7,11 +7,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/event_loop.h"
 #include "net/local_cluster.h"
 #include "net/wire.h"
@@ -50,23 +49,50 @@ TEST(EventLoopTest, PostRunsTasksOnLoopThread) {
   t.join();
 }
 
+TEST(EventLoopTest, LoopThreadIdPublicationIsRaceFree) {
+  // Regression for the loop_thread_ data race: Run() publishes the loop's
+  // thread id with a release store into an atomic, and InLoopThread reads
+  // it with an acquire load, so callers may legitimately race loop
+  // startup. A reader polls InLoopThread across Run()'s startup and
+  // shutdown stores; the TSan CI job fails here if loop_thread_ regresses
+  // to a plain member.
+  for (int round = 0; round < 10; ++round) {
+    EventLoop loop;
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+      while (!stop.load()) {
+        loop.InLoopThread();
+      }
+    });
+    std::thread t([&] { loop.Run(); });
+    std::atomic<bool> ran{false};
+    loop.Post([&] { ran = true; });
+    EXPECT_TRUE(WaitFor([&] { return ran.load(); }));
+    EXPECT_FALSE(loop.InLoopThread());
+    loop.Stop();
+    t.join();
+    stop = true;
+    reader.join();
+  }
+}
+
 TEST(EventLoopTest, TimersFireInDeadlineOrder) {
   EventLoop loop;
-  std::mutex mu;
+  sync::Mutex mu;
   std::vector<int> order;
   std::thread t([&] { loop.Run(); });
   loop.Post([&] {
     loop.AddTimer(30ms, [&] {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       order.push_back(2);
     });
     loop.AddTimer(5ms, [&] {
-      std::lock_guard<std::mutex> lock(mu);
+      sync::MutexLock lock(&mu);
       order.push_back(1);
     });
   });
   EXPECT_TRUE(WaitFor([&] {
-    std::lock_guard<std::mutex> lock(mu);
+    sync::MutexLock lock(&mu);
     return order.size() == 2;
   }));
   loop.Stop();
@@ -173,22 +199,25 @@ TEST(FrameReaderTest, OversizedDeclaredLengthRejectedEarly) {
 // ------------------------------------------------------------ LocalCluster
 
 struct Inbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Message> messages;
+  sync::Mutex mu;
+  sync::CondVar cv;
+  std::vector<Message> messages SEEP_GUARDED_BY(mu);
 
   void Push(Message msg) {
-    std::lock_guard<std::mutex> lock(mu);
+    sync::MutexLock lock(&mu);
     messages.push_back(std::move(msg));
-    cv.notify_all();
+    cv.NotifyAll();
   }
   size_t Size() {
-    std::lock_guard<std::mutex> lock(mu);
+    sync::MutexLock lock(&mu);
     return messages.size();
   }
   bool WaitForCount(size_t n) {
-    std::unique_lock<std::mutex> lock(mu);
-    return cv.wait_for(lock, 2s, [&] { return messages.size() >= n; });
+    sync::MutexLock lock(&mu);
+    return cv.WaitFor(&mu, 2s, [&] {
+      mu.AssertHeld();
+      return messages.size() >= n;
+    });
   }
 };
 
@@ -215,7 +244,7 @@ TEST(LocalClusterTest, DeliversMessagesInFifoOrderPerLink) {
     ASSERT_NE(cluster.Post(1, 2, MakeMsg(1, 2, i)), SendStatus::kClosed);
   }
   ASSERT_TRUE(inbox.WaitForCount(kCount));
-  std::lock_guard<std::mutex> lock(inbox.mu);
+  sync::MutexLock lock(&inbox.mu);
   for (uint64_t i = 0; i < kCount; ++i) {
     EXPECT_EQ(inbox.messages[i].ship_id, i) << "reordered at " << i;
     EXPECT_EQ(inbox.messages[i].from_vm, 1u);
@@ -251,7 +280,7 @@ TEST(LocalClusterTest, SenderMayStartBeforeReceiver) {
       cluster.StartWorker(2, [&](Message m) { inbox.Push(std::move(m)); })
           .ok());
   ASSERT_TRUE(inbox.WaitForCount(2));
-  std::lock_guard<std::mutex> lock(inbox.mu);
+  sync::MutexLock lock(&inbox.mu);
   EXPECT_EQ(inbox.messages[0].ship_id, 1u);
   EXPECT_EQ(inbox.messages[1].ship_id, 2u);
 }
