@@ -90,7 +90,9 @@ inline RecoveryRun RunWordCountRecovery(
     runtime::FaultToleranceMode mode, double rate_tuples_per_sec,
     double checkpoint_interval_s, uint32_t recovery_parallelism = 1,
     double fail_at = 60, double total = 120, size_t vocabulary = 1000,
-    bool inject_failure = true, bool async_checkpoints = false) {
+    bool inject_failure = true, bool async_checkpoints = false,
+    runtime::BackupDurability durability =
+        runtime::BackupDurability::kMemory) {
   workloads::wordcount::WordCountConfig wc;
   wc.rate_tuples_per_sec = rate_tuples_per_sec;
   wc.vocabulary = vocabulary;
@@ -100,6 +102,7 @@ inline RecoveryRun RunWordCountRecovery(
   config.cluster.ft_mode = mode;
   config.cluster.checkpoint_interval = SecondsToSim(checkpoint_interval_s);
   config.cluster.buffer_window = SecondsToSim(35);
+  config.cluster.backup_durability = durability;
   config.scaling.enabled = false;
   config.recovery.parallelism = recovery_parallelism;
   config.cluster.pool.target_size = 3;

@@ -296,6 +296,8 @@ inline thread_local uint32_t ThreadRole::tls_roles_ = 0;
 inline constexpr ThreadRole DriverThread{"DriverThread", 1u << 0};
 inline constexpr ThreadRole LoopThread{"LoopThread", 1u << 1};
 inline constexpr ThreadRole CkptWorkerThread{"CkptWorkerThread", 1u << 2};
+inline constexpr ThreadRole StoreCompactorThread{"StoreCompactorThread",
+                                                 1u << 3};
 
 /// Scoped role adoption for a thread entry point: the body of the thread
 /// (or the scope that is provably confined to it) holds the role.

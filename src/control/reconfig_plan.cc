@@ -139,13 +139,17 @@ void RestoreOnePartition(PlanContext& ctx, uint32_t i, InstanceId new_id) {
     core::StateCheckpoint initial = part;
     initial.instance = new_id;
     initial.origin = inst->origin();
+    const uint64_t initial_seq = initial.seq;
+    // Store before the audit hook: with a durable tier the log append
+    // happens inside Store, and durable-log-covers-trim requires the record
+    // to be on disk by the time the stored event fires.
+    ctx.cluster->backups()->Store(new_id, ctx.holder, std::move(initial));
     if (auto* audit = ctx.cluster->audit()) {
       const runtime::OperatorInstance* h = ctx.cluster->GetInstance(ctx.holder);
       audit->OnCheckpointStored(new_id, inst->vm(), ctx.holder,
                                 h != nullptr ? h->vm() : kInvalidVm,
-                                initial.seq);
+                                initial_seq);
     }
-    ctx.cluster->backups()->Store(new_id, ctx.holder, std::move(initial));
   }
 }
 
@@ -161,7 +165,13 @@ void ShipOnePartition(const std::shared_ptr<PlanContext>& ctx, uint32_t i,
     RestoreOnePartition(*ctx, i, new_id);
     if (--(*remaining) == 0) done(Status::OK());
   };
-  if (ctx->have_backup) {
+  if (ctx->have_backup && ctx->from_disk) {
+    // The partition was read back from the durable log: nothing ships from
+    // a holder (the new VM reads cluster storage directly); it still pays
+    // the partition/deserialize delay.
+    ctx->cluster->simulation()->Schedule(ctx->partition_delay,
+                                         std::move(restore_one));
+  } else if (ctx->have_backup) {
     const runtime::OperatorInstance* h = ctx->cluster->GetInstance(ctx->holder);
     const runtime::OperatorInstance* inst = ctx->cluster->GetInstance(new_id);
     const uint64_t bytes = (*ctx->parts)[i].ByteSize();
@@ -274,17 +284,36 @@ ReconfigStage FetchAndPartitionStage() {
     runtime::Cluster* cluster = ctx->cluster;
     ctx->partitions_before = cluster->InstancesOf(ctx->op).size();
 
+    // A recovery can only finish if someone can replay the lost input: with
+    // every upstream instance dead (a correlated failure), abort now — the
+    // coordinator retries in 1 s, after the upstream's own recovery (which
+    // needs no replay from this operator) has restored a live instance.
+    if (ctx->recovery && !cluster->graph()->Upstream(ctx->op).empty() &&
+        cluster->UpstreamInstancesOf(ctx->op).empty()) {
+      done(Status::Unavailable("no live upstream instance to replay from"));
+      return;
+    }
+
     // Algorithm 3 lines 1-3: retrieve the most recent checkpoint from
     // backup(o) and partition it there. The holder must be alive (paper
     // §4.3: if backup(o) failed, abort and retry after a fresh backup
-    // exists).
+    // exists) — unless the checkpoint came off the durable log, which
+    // survives the holder.
     auto entry = cluster->backups()->Retrieve(ctx->target);
     ctx->have_backup = entry.ok();
     if (ctx->have_backup) {
       ctx->base = entry.value().checkpoint;
       ctx->holder = entry.value().holder;
+      ctx->from_disk = entry.value().from_disk;
       runtime::OperatorInstance* h = cluster->GetInstance(ctx->holder);
-      if (h == nullptr || !h->alive() || h->stopped()) {
+      const bool holder_live = h != nullptr && h->alive() && !h->stopped();
+      if (ctx->from_disk) {
+        // Durable-log fallback (kDisk, or kTiered after the holder died):
+        // recovery proceeds through the correlated owner+holder failure the
+        // in-memory tier cannot survive. A dead holder just means the new
+        // partitions get no initial in-memory backup.
+        if (!holder_live) ctx->holder = kInvalidInstance;
+      } else if (!holder_live) {
         done(Status::Unavailable("backup holder failed"));
         return;
       }

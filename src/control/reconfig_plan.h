@@ -65,6 +65,10 @@ struct PlanContext {
   std::vector<VmId> vms;
   core::StateCheckpoint base;
   bool have_backup = false;
+  /// The backup came off the durable checkpoint log rather than holder
+  /// memory (kDisk, or kTiered after the holder died): no live holder is
+  /// required and no state ships over the network.
+  bool from_disk = false;
   bool inherit_origin = false;
   InstanceId holder = kInvalidInstance;
   SimTime partition_delay = 0;

@@ -326,4 +326,14 @@ void CkptChunkReassembler::ForgetThrough(InstanceId owner, uint64_t seq) {
   }
 }
 
+void CkptChunkReassembler::ForgetOwner(InstanceId owner) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (std::get<0>(it->first) == owner) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 }  // namespace seep::runtime

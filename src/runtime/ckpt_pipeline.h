@@ -217,6 +217,11 @@ class CkptChunkReassembler {
   /// checkpoint supersedes everything it outranks).
   void ForgetThrough(InstanceId owner, uint64_t seq);
 
+  /// Drops every partial stream of `owner`, at any seq — the backup-delete
+  /// path (Cluster::DeleteBackup), where a late-finishing stream must not
+  /// resurrect a tombstoned instance.
+  void ForgetOwner(InstanceId owner);
+
   size_t pending_streams() const { return pending_.size(); }
 
  private:

@@ -19,6 +19,7 @@
 #include "runtime/transport.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
+#include "store/checkpoint_log.h"
 #include "verify/invariant_auditor.h"
 
 namespace seep::runtime {
@@ -86,6 +87,17 @@ struct ClusterConfig {
   /// Block-compress serialized checkpoint frames when it helps (the flag
   /// travels per frame, so incompressible payloads ship raw).
   bool compress_checkpoints = true;
+
+  /// Durability tier of the backup directory: kMemory is the paper's single
+  /// in-memory copy at the upstream holder (default, and byte-identical to
+  /// the pre-durability behaviour), kDisk keeps backups only in the durable
+  /// checkpoint log (src/store/), kTiered keeps both — memory for the fast
+  /// paths, the log for correlated owner+holder failures.
+  BackupDurability backup_durability = BackupDurability::kMemory;
+  /// Durable checkpoint log settings (kDisk/kTiered only). An empty
+  /// `store.directory` auto-provisions a unique directory under the working
+  /// directory, removed again when the cluster shuts down.
+  store::CheckpointLogConfig store;
 
   /// Whether backup holders are spread over upstream instances by hash
   /// (Algorithm 1 line 2). When false, every checkpoint goes to the first
@@ -167,6 +179,16 @@ class Cluster {
   void InstallRoutes(OperatorId down_op,
                      std::vector<core::RoutingState::Route> routes);
 
+  /// The single choke point for deleting a backup: drops the in-memory
+  /// entry, tombstones the durable log (kDisk/kTiered), and makes the chunk
+  /// reassembler forget the owner's partial streams in the same step — so a
+  /// dropped partial stream and a tombstone can never disagree about
+  /// whether the owner still stores.
+  void DeleteBackup(InstanceId owner);
+
+  /// The durable checkpoint log, or null in kMemory mode.
+  store::CheckpointLog* durable_log() { return durable_log_.get(); }
+
   // ------------------------------------------------- read-side conveniences
   // (lookups only — these delegate to membership(); mutations don't exist
   // here.)
@@ -204,6 +226,12 @@ class Cluster {
   cloud::VmPool pool_;
   MetricsRegistry metrics_;
   core::RoutingState routing_;
+  /// Declared before backups_ (which borrows a raw pointer) so the log
+  /// outlives the directory that points into it.
+  std::unique_ptr<store::CheckpointLog> durable_log_;
+  /// Non-empty when the cluster auto-provisioned the store directory and
+  /// owns its removal at shutdown.
+  std::string owned_store_dir_;
   BackupStore backups_;
 
   core::OriginId origin_counter_ = 0;

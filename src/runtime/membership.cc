@@ -107,7 +107,9 @@ void Membership::FinalizeRetire(InstanceId id) {
   auto& members = partitions_[inst->op()];
   members.erase(std::remove(members.begin(), members.end(), id),
                 members.end());
-  cluster_->backups()->Delete(id);
+  // The choke point also drops any partial chunk streams still reassembling
+  // for the retired instance and tombstones the durable log.
+  cluster_->DeleteBackup(id);
   RecordVmsInUse();
 }
 

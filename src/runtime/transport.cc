@@ -27,7 +27,8 @@ InstanceId ChooseBackupHolder(const Cluster* cluster,
 
 void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
                                OperatorId owner_op, InstanceId holder_id,
-                               uint64_t bytes, core::StateCheckpoint ckpt) {
+                               uint64_t bytes, core::StateCheckpoint ckpt,
+                               BackupStore::EncodedFrame* prebuilt) {
   SEEP_ASSERT_RUN_ON(sync::DriverThread);
   Membership* members = cluster->membership();
   MetricsRegistry* metrics = cluster->metrics();
@@ -46,6 +47,7 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
   // Algorithm 1 lines 3/5-7: store (or apply a delta onto the held base),
   // superseding any previous holder.
   const core::InputPositions positions = ckpt.positions;
+  uint64_t stored_seq = 0;
   if (ckpt.is_delta) {
     BackupStore::Entry* entry = cluster->backups()->Mutable(owner_id);
     if (entry == nullptr || entry->holder != holder_id) {
@@ -59,21 +61,33 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
       ++metrics->delta_apply_failures;
       return;  // out-of-order delta; keep the older consistent base
     }
+    stored_seq = entry->checkpoint.seq;
+    // The in-place mutation bypassed Store; re-append so the durable tier
+    // catches up with the folded base (no-op in kMemory mode).
+    cluster->backups()->RefreshDurable(owner_id);
   } else {
     // Background checkpoint shipments to different holders can arrive out
     // of order; a stale one must never supersede a fresher stored
     // checkpoint whose higher positions were already acknowledged upstream
-    // (recovery from the stale one would need trimmed tuples).
-    const BackupStore::Entry* existing = cluster->backups()->Find(owner_id);
-    if (existing != nullptr && existing->checkpoint.seq >= ckpt.seq) {
+    // (recovery from the stale one would need trimmed tuples). LatestSeq
+    // consults every tier, so the guard also holds under kDisk where no
+    // in-memory entry exists.
+    const auto existing = cluster->backups()->LatestSeq(owner_id);
+    if (existing.has_value() && *existing >= ckpt.seq) {
       return;
     }
-    cluster->backups()->Store(owner_id, holder_id, std::move(ckpt));
+    stored_seq = ckpt.seq;
+    if (prebuilt != nullptr) {
+      cluster->backups()->StoreWithFrame(owner_id, holder_id,
+                                         std::move(ckpt),
+                                         std::move(*prebuilt));
+    } else {
+      cluster->backups()->Store(owner_id, holder_id, std::move(ckpt));
+    }
   }
   if (auto* audit = cluster->audit()) {
-    const BackupStore::Entry* stored = cluster->backups()->Find(owner_id);
     audit->OnCheckpointStored(owner_id, o->vm(), holder_id, h->vm(),
-                              stored->checkpoint.seq);
+                              stored_seq);
   }
   metrics->checkpoints_taken++;
   metrics->checkpoint_bytes += bytes;
@@ -165,8 +179,15 @@ void DeliverCheckpointChunk(Cluster* cluster, const CkptChunkHeader& header,
   // A completed frame supersedes any partial stream it outranks.
   cluster->ckpt_reassembler()->ForgetThrough(header.owner, header.seq);
   const uint64_t bytes = ckpt.value().ByteSize();
+  // Hand the intact wire frame along so a durable tier appends the received
+  // bytes verbatim instead of re-encoding the decoded checkpoint.
+  BackupStore::EncodedFrame prebuilt;
+  prebuilt.frame = std::move(*frame);
+  prebuilt.raw_bytes = header.raw_bytes;
+  prebuilt.compressed = header.compressed;
   DeliverCheckpointToHolder(cluster, header.owner, header.owner_op,
-                            header.holder, bytes, std::move(ckpt).value());
+                            header.holder, bytes, std::move(ckpt).value(),
+                            &prebuilt);
 }
 
 void SimTransport::AttachVm(VmId vm) { cluster_->network()->Attach(vm); }

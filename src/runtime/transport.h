@@ -6,6 +6,7 @@
 #include "common/ids.h"
 #include "core/state.h"
 #include "core/tuple.h"
+#include "runtime/backup_store.h"
 #include "runtime/ckpt_pipeline.h"
 
 namespace seep::runtime {
@@ -98,10 +99,14 @@ InstanceId ChooseBackupHolder(const Cluster* cluster,
 /// arrives: validity/suspension guards, store (or delta-apply onto the held
 /// base) with the stale-sequence guard, audit hook, metrics, and the trim
 /// acknowledgements to the owner's upstream instances. Shared by every
-/// Transport backend — the wire differs, the protocol must not.
+/// Transport backend — the wire differs, the protocol must not. `prebuilt`
+/// (optional, consumed) is the checkpoint's already-serialized wire frame:
+/// the chunked receive path passes it so a durable-tier append reuses the
+/// received bytes instead of re-encoding.
 void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
                                OperatorId owner_op, InstanceId holder_id,
-                               uint64_t bytes, core::StateCheckpoint ckpt);
+                               uint64_t bytes, core::StateCheckpoint ckpt,
+                               BackupStore::EncodedFrame* prebuilt = nullptr);
 
 /// The serializer's completion hook (driver thread): re-checks that the
 /// owner is still alive, running and unsuspended — an async checkpoint

@@ -1,0 +1,771 @@
+#include "store/checkpoint_log.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "serde/crc32c.h"
+#include "store/segment.h"
+
+namespace seep::store {
+namespace {
+
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".seeplog";
+
+std::string SegmentFileName(uint32_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08u%s", kSegmentPrefix, id,
+                kSegmentSuffix);
+  return buf;
+}
+
+/// Parses "seg-<8 digits>.seeplog"; returns false for anything else.
+bool ParseSegmentFileName(const std::string& name, uint32_t* id) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (name.size() != prefix.size() + 8 + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 8; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = static_cast<uint32_t>(v);
+  return true;
+}
+
+Status WriteExact(int fd, uint64_t offset, const uint8_t* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd, data + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pwrite: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd) {
+  while (::fdatasync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("fdatasync: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Durability of file creation needs the directory entry flushed too.
+Status FsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(std::string("open dir: ") +
+                            std::strerror(errno));
+  }
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) {
+    st = Status::Internal(std::string("fsync dir: ") + std::strerror(errno));
+  }
+  ::close(fd);
+  return st;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Order-independent replay of scanned records into (live, tombstoned):
+/// a tombstone is terminal for its owner; otherwise the highest seq wins.
+/// Shared by Recover and VerifyIndex so both agree on semantics.
+struct ReplayState {
+  struct Live {
+    RecordMeta meta;
+    uint32_t segment = 0;
+    uint64_t record_offset = 0;
+    uint64_t payload_offset = 0;
+    uint64_t record_bytes = 0;
+  };
+  std::map<InstanceId, Live> live;
+  std::map<InstanceId, Live> tombstones;
+
+  void Apply(uint32_t segment, const ScannedRecord& rec,
+             uint64_t record_bytes) {
+    Live entry;
+    entry.meta = rec.meta;
+    entry.segment = segment;
+    entry.record_offset = rec.record_offset;
+    entry.payload_offset = rec.payload_offset;
+    entry.record_bytes = record_bytes;
+    const InstanceId owner = rec.meta.owner;
+    if (rec.meta.type == RecordType::kTombstone) {
+      live.erase(owner);
+      tombstones.emplace(owner, entry);
+      return;
+    }
+    if (tombstones.count(owner) != 0) return;  // never resurrect
+    auto it = live.find(owner);
+    if (it == live.end() || rec.meta.seq >= it->second.meta.seq) {
+      live[owner] = entry;
+    }
+  }
+};
+
+uint64_t RecordBytes(const ScannedRecord& rec) {
+  return (rec.payload_offset - rec.record_offset) + rec.meta.payload_bytes;
+}
+
+}  // namespace
+
+CheckpointLog::CheckpointLog(CheckpointLogConfig config)
+    : config_(std::move(config)) {}
+
+Result<std::unique_ptr<CheckpointLog>> CheckpointLog::Open(
+    CheckpointLogConfig config) {
+  if (config.directory.empty()) {
+    return Status::InvalidArgument("checkpoint log needs a directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config.directory, ec);
+  if (ec) {
+    return Status::Internal("create " + config.directory + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<CheckpointLog> log(new CheckpointLog(std::move(config)));
+  SEEP_RETURN_IF_ERROR(log->Recover());
+  if (log->config_.background_compaction) {
+    CheckpointLog* raw = log.get();
+    log->compactor_ = std::thread([raw] { raw->CompactorLoop(); });
+  }
+  return log;
+}
+
+CheckpointLog::~CheckpointLog() {
+  {
+    sync::MutexLock lock(&mu_);
+    stop_ = true;
+    compaction_cv_.NotifyAll();
+  }
+  if (compactor_.joinable()) compactor_.join();
+  sync::MutexLock lock(&mu_);
+  if (config_.fsync != FsyncPolicy::kNever) {
+    (void)MaybeFsyncLocked(/*force=*/true);
+  }
+  for (auto& [id, seg] : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+}
+
+Status CheckpointLog::Recover() {
+  const uint64_t t0 = NowNanos();
+  std::vector<std::pair<uint32_t, std::string>> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.directory, ec)) {
+    uint32_t id = 0;
+    if (ParseSegmentFileName(entry.path().filename().string(), &id)) {
+      files.emplace_back(id, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("list " + config_.directory + ": " +
+                            ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  sync::MutexLock lock(&mu_);
+  ReplayState replay;
+  for (const auto& [id, path] : files) {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+      return Status::Internal("open " + path + ": " + std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::Internal("fstat " + path + ": " + std::strerror(errno));
+    }
+    const auto size = static_cast<uint64_t>(st.st_size);
+    SegmentScan scan = ScanSegment(fd, size, config_.max_payload);
+    ++recovery_info_.segments_scanned;
+    // A file whose header did not validate (or that recorded a different
+    // id than its name) contributes nothing; drop it entirely.
+    if (scan.valid_bytes < kSegmentHeaderBytes || scan.id != id) {
+      recovery_info_.torn = true;
+      recovery_info_.torn_detail = path + ": " +
+                                   (scan.torn_detail.empty()
+                                        ? "segment id mismatch"
+                                        : scan.torn_detail);
+      recovery_info_.torn_bytes += size;
+      ::close(fd);
+      ::unlink(path.c_str());
+      continue;
+    }
+    if (scan.valid_bytes < size) {
+      // Torn tail: truncate at the first bad frame so the file and the
+      // replayed index agree byte for byte.
+      recovery_info_.torn = true;
+      recovery_info_.torn_detail = path + ": " + scan.torn_detail;
+      recovery_info_.torn_bytes += size - scan.valid_bytes;
+      if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+        ::close(fd);
+        return Status::Internal("ftruncate " + path + ": " +
+                                std::strerror(errno));
+      }
+    }
+    for (const auto& rec : scan.records) {
+      replay.Apply(id, rec, RecordBytes(rec));
+      ++recovery_info_.records_scanned;
+    }
+    Segment seg;
+    seg.path = path;
+    seg.fd = fd;
+    seg.bytes = scan.valid_bytes;
+    seg.sealed = true;  // the highest id is unsealed below
+    segments_.emplace(id, seg);
+  }
+
+  for (const auto& [owner, live] : replay.live) {
+    IndexEntry e;
+    e.meta = live.meta;
+    e.segment = live.segment;
+    e.record_offset = live.record_offset;
+    e.payload_offset = live.payload_offset;
+    e.record_bytes = live.record_bytes;
+    index_.emplace(owner, e);
+    segments_[live.segment].live += live.record_bytes;
+  }
+  for (const auto& [owner, tomb] : replay.tombstones) {
+    IndexEntry e;
+    e.meta = tomb.meta;
+    e.segment = tomb.segment;
+    e.record_offset = tomb.record_offset;
+    e.payload_offset = tomb.payload_offset;
+    e.record_bytes = tomb.record_bytes;
+    tombstones_.emplace(owner, e);
+    segments_[tomb.segment].live += tomb.record_bytes;
+  }
+
+  if (segments_.empty()) {
+    SEEP_RETURN_IF_ERROR(CreateSegmentLocked(next_segment_id_));
+    next_segment_id_ += 1;
+  } else {
+    active_id_ = segments_.rbegin()->first;
+    segments_[active_id_].sealed = false;
+    next_segment_id_ = active_id_ + 1;
+  }
+  last_fsync_ = std::chrono::steady_clock::now();
+
+  recovery_info_.live_records = index_.size();
+  const uint64_t nanos = NowNanos() - t0;
+  metrics_.recovery_scan_nanos.store(nanos, std::memory_order_relaxed);
+  metrics_.recovery_records_scanned.store(recovery_info_.records_scanned,
+                                          std::memory_order_relaxed);
+  metrics_.recovery_torn_bytes.store(recovery_info_.torn_bytes,
+                                     std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status CheckpointLog::CreateSegmentLocked(uint32_t id) {
+  Segment seg;
+  seg.path = config_.directory + "/" + SegmentFileName(id);
+  seg.fd = ::open(seg.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (seg.fd < 0) {
+    return Status::Internal("open " + seg.path + ": " +
+                            std::strerror(errno));
+  }
+  const std::vector<uint8_t> header = EncodeSegmentHeader(id);
+  Status st = WriteExact(seg.fd, 0, header.data(), header.size());
+  if (st.ok() && config_.fsync != FsyncPolicy::kNever) {
+    st = FsyncFd(seg.fd);
+    if (st.ok()) st = FsyncDirectory(config_.directory);
+  }
+  if (!st.ok()) {
+    ::close(seg.fd);
+    return st;
+  }
+  seg.bytes = header.size();
+  segments_.emplace(id, seg);
+  active_id_ = id;
+  return Status::OK();
+}
+
+Status CheckpointLog::RollSegmentLocked() {
+  Segment& act = segments_[active_id_];
+  if (config_.fsync != FsyncPolicy::kNever) {
+    SEEP_RETURN_IF_ERROR(FsyncFd(act.fd));
+    dirty_since_fsync_ = false;
+  }
+  act.sealed = true;
+  const uint32_t id = next_segment_id_;
+  next_segment_id_ += 1;
+  return CreateSegmentLocked(id);
+}
+
+Status CheckpointLog::AppendRecordLocked(const RecordMeta& meta,
+                                         const uint8_t* payload, size_t n,
+                                         IndexEntry* out) {
+  const std::vector<uint8_t> header = EncodeRecordHeader(meta);
+  const uint64_t rec_bytes = header.size() + n;
+  {
+    const Segment& act = segments_[active_id_];
+    if (act.bytes > kSegmentHeaderBytes &&
+        act.bytes + rec_bytes > config_.segment_bytes) {
+      SEEP_RETURN_IF_ERROR(RollSegmentLocked());
+    }
+  }
+  Segment& act = segments_[active_id_];
+  SEEP_RETURN_IF_ERROR(
+      WriteExact(act.fd, act.bytes, header.data(), header.size()));
+  if (n > 0) {
+    SEEP_RETURN_IF_ERROR(
+        WriteExact(act.fd, act.bytes + header.size(), payload, n));
+  }
+  out->meta = meta;
+  out->segment = active_id_;
+  out->record_offset = act.bytes;
+  out->payload_offset = act.bytes + header.size();
+  out->record_bytes = rec_bytes;
+  act.bytes += rec_bytes;
+  act.live += rec_bytes;
+  dirty_since_fsync_ = true;
+  metrics_.append_bytes.fetch_add(rec_bytes, std::memory_order_relaxed);
+  return MaybeFsyncLocked(/*force=*/false);
+}
+
+Status CheckpointLog::MaybeFsyncLocked(bool force) {
+  if (!dirty_since_fsync_ && !force) return Status::OK();
+  bool do_sync = force;
+  switch (config_.fsync) {
+    case FsyncPolicy::kAlways:
+      do_sync = true;
+      break;
+    case FsyncPolicy::kIntervalMs: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_fsync_ >=
+          std::chrono::milliseconds(config_.fsync_interval_ms)) {
+        do_sync = true;
+      }
+      break;
+    }
+    case FsyncPolicy::kNever:
+      break;
+  }
+  if (!do_sync) return Status::OK();
+  const uint64_t t0 = NowNanos();
+  SEEP_RETURN_IF_ERROR(FsyncFd(segments_[active_id_].fd));
+  metrics_.RecordFsync(NowNanos() - t0);
+  last_fsync_ = std::chrono::steady_clock::now();
+  dirty_since_fsync_ = false;
+  return Status::OK();
+}
+
+Status CheckpointLog::Append(RecordMeta meta, const uint8_t* payload,
+                             size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("checkpoint record needs a payload");
+  }
+  if (n > config_.max_payload + serde::kFrameHeaderBytes) {
+    return Status::InvalidArgument("checkpoint payload exceeds frame "
+                                   "ceiling");
+  }
+  meta.type = RecordType::kCheckpoint;
+  meta.payload_bytes = n;
+  bool inline_compact = false;
+  {
+    sync::MutexLock lock(&mu_);
+    if (tombstones_.count(meta.owner) != 0) {
+      return Status::FailedPrecondition("owner is tombstoned");
+    }
+    IndexEntry e;
+    SEEP_RETURN_IF_ERROR(AppendRecordLocked(meta, payload, n, &e));
+    auto it = index_.find(meta.owner);
+    if (it != index_.end()) {
+      segments_[it->second.segment].live -= it->second.record_bytes;
+      it->second = e;
+    } else {
+      index_.emplace(meta.owner, e);
+    }
+    metrics_.appends.fetch_add(1, std::memory_order_relaxed);
+    inline_compact = SignalCompactionLocked();
+  }
+  if (inline_compact) return CompactOnce();
+  return Status::OK();
+}
+
+Status CheckpointLog::AppendTombstone(InstanceId owner) {
+  RecordMeta meta;
+  meta.type = RecordType::kTombstone;
+  meta.owner = owner;
+  bool inline_compact = false;
+  {
+    sync::MutexLock lock(&mu_);
+    if (tombstones_.count(owner) != 0) return Status::OK();
+    IndexEntry e;
+    SEEP_RETURN_IF_ERROR(AppendRecordLocked(meta, nullptr, 0, &e));
+    auto it = index_.find(owner);
+    if (it != index_.end()) {
+      segments_[it->second.segment].live -= it->second.record_bytes;
+      index_.erase(it);
+    }
+    tombstones_.emplace(owner, e);
+    metrics_.tombstones.fetch_add(1, std::memory_order_relaxed);
+    inline_compact = SignalCompactionLocked();
+  }
+  if (inline_compact) return CompactOnce();
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> CheckpointLog::ReadPayload(
+    InstanceId owner) const {
+  sync::MutexLock lock(&mu_);
+  auto it = index_.find(owner);
+  if (it == index_.end()) {
+    return Status::NotFound("no live checkpoint for owner");
+  }
+  const IndexEntry& e = it->second;
+  std::vector<uint8_t> buf(e.meta.payload_bytes);
+  auto seg = segments_.find(e.segment);
+  SEEP_CHECK(seg != segments_.end());
+  SEEP_RETURN_IF_ERROR(
+      ReadExact(seg->second.fd, e.payload_offset, buf.data(), buf.size()));
+  metrics_.reads.fetch_add(1, std::memory_order_relaxed);
+  metrics_.read_bytes.fetch_add(buf.size(), std::memory_order_relaxed);
+  return buf;
+}
+
+std::optional<RecordMeta> CheckpointLog::Find(InstanceId owner) const {
+  sync::MutexLock lock(&mu_);
+  auto it = index_.find(owner);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.meta;
+}
+
+bool CheckpointLog::Has(InstanceId owner) const {
+  sync::MutexLock lock(&mu_);
+  return index_.count(owner) != 0;
+}
+
+std::vector<RecordMeta> CheckpointLog::LiveRecords() const {
+  sync::MutexLock lock(&mu_);
+  std::vector<RecordMeta> out;
+  out.reserve(index_.size());
+  for (const auto& [owner, e] : index_) out.push_back(e.meta);
+  return out;
+}
+
+Status CheckpointLog::Flush() {
+  sync::MutexLock lock(&mu_);
+  return MaybeFsyncLocked(/*force=*/true);
+}
+
+bool CheckpointLog::CompactionNeededLocked() const {
+  uint64_t sealed_payload = 0;
+  uint64_t sealed_live = 0;
+  for (const auto& [id, seg] : segments_) {
+    if (!seg.sealed) continue;
+    sealed_payload += seg.bytes - kSegmentHeaderBytes;
+    sealed_live += seg.live;
+  }
+  if (sealed_payload == 0) return false;
+  const uint64_t dead = sealed_payload - sealed_live;
+  if (dead < config_.compact_min_bytes) return false;
+  return static_cast<double>(dead) >=
+         config_.compact_min_dead_ratio *
+             static_cast<double>(sealed_payload);
+}
+
+bool CheckpointLog::SignalCompactionLocked() {
+  if (compaction_running_ || compaction_requested_) return false;
+  if (!CompactionNeededLocked()) return false;
+  if (config_.background_compaction) {
+    compaction_requested_ = true;
+    compaction_cv_.NotifyAll();
+    return false;
+  }
+  return true;
+}
+
+void CheckpointLog::CompactorLoop() {
+  sync::ScopedThreadRole role(sync::StoreCompactorThread);
+  while (true) {
+    {
+      sync::MutexLock lock(&mu_);
+      compaction_cv_.Wait(&mu_, [this] {
+        mu_.AssertHeld();
+        return stop_ || compaction_requested_;
+      });
+      if (stop_) return;
+      compaction_requested_ = false;
+    }
+    const Status st = CompactOnce();
+    if (!st.ok()) {
+      sync::MutexLock lock(&mu_);
+      last_compaction_error_ = st;
+    }
+  }
+}
+
+Status CheckpointLog::CompactOnce() {
+  // Phase 1: snapshot the survivors and victims under mu_. Sealed segments
+  // are immutable and their fds are closed only by this function (single
+  // flight via compaction_running_), so phase 2 can read them lock-free.
+  std::vector<Survivor> survivors;
+  std::set<uint32_t> victims;
+  uint64_t bytes_in = 0;
+  uint32_t new_id = 0;
+  std::map<uint32_t, int> victim_fds;
+  {
+    sync::MutexLock lock(&mu_);
+    if (compaction_running_) return Status::OK();
+    for (const auto& [id, seg] : segments_) {
+      if (!seg.sealed) continue;
+      victims.insert(id);
+      victim_fds[id] = seg.fd;
+      bytes_in += seg.bytes;
+    }
+    if (victims.empty()) return Status::OK();
+    for (const auto& [owner, e] : index_) {
+      if (victims.count(e.segment) != 0) {
+        survivors.push_back({owner, false, e});
+      }
+    }
+    for (const auto& [owner, e] : tombstones_) {
+      if (victims.count(e.segment) != 0) {
+        survivors.push_back({owner, true, e});
+      }
+    }
+    new_id = next_segment_id_;
+    next_segment_id_ += 1;
+    compaction_running_ = true;
+  }
+
+  // Phase 2: rewrite the survivors verbatim into a fresh sealed segment,
+  // without holding mu_ — appends and reads proceed concurrently.
+  struct NewLocation {
+    uint64_t record_offset = 0;
+    uint64_t payload_offset = 0;
+  };
+  std::vector<NewLocation> locations(survivors.size());
+  Segment fresh;
+  fresh.sealed = true;
+  uint64_t bytes_out = 0;
+  Status st = Status::OK();
+  if (!survivors.empty()) {
+    fresh.path = config_.directory + "/" + SegmentFileName(new_id);
+    fresh.fd = ::open(fresh.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fresh.fd < 0) {
+      st = Status::Internal("open " + fresh.path + ": " +
+                            std::strerror(errno));
+    }
+    if (st.ok()) {
+      const std::vector<uint8_t> header = EncodeSegmentHeader(new_id);
+      st = WriteExact(fresh.fd, 0, header.data(), header.size());
+      fresh.bytes = header.size();
+    }
+    std::vector<uint8_t> buf;
+    for (size_t i = 0; st.ok() && i < survivors.size(); ++i) {
+      const IndexEntry& e = survivors[i].entry;
+      buf.resize(e.record_bytes);
+      st = ReadExact(victim_fds[e.segment], e.record_offset, buf.data(),
+                     buf.size());
+      if (!st.ok()) break;
+      st = WriteExact(fresh.fd, fresh.bytes, buf.data(), buf.size());
+      if (!st.ok()) break;
+      locations[i].record_offset = fresh.bytes;
+      locations[i].payload_offset =
+          fresh.bytes + (e.payload_offset - e.record_offset);
+      fresh.bytes += e.record_bytes;
+    }
+    if (st.ok() && config_.fsync != FsyncPolicy::kNever) {
+      st = FsyncFd(fresh.fd);
+      if (st.ok()) st = FsyncDirectory(config_.directory);
+    }
+    bytes_out = fresh.bytes;
+    if (!st.ok() && fresh.fd >= 0) {
+      // Failed pass: drop the half-written output, keep the victims.
+      ::close(fresh.fd);
+      ::unlink(fresh.path.c_str());
+      fresh.fd = -1;
+    }
+  }
+
+  // Phase 3: install the swap under mu_. An entry that moved while we
+  // copied (superseded by a fresh append or tombstone) keeps its current
+  // location; its stale copy in the fresh segment is dead weight.
+  std::vector<std::string> unlink_paths;
+  {
+    sync::MutexLock lock(&mu_);
+    compaction_running_ = false;
+    if (!st.ok()) return st;
+    if (fresh.fd >= 0) {
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        const Survivor& s = survivors[i];
+        auto& table = s.tombstone ? tombstones_ : index_;
+        auto it = table.find(s.owner);
+        if (it == table.end() ||
+            it->second.segment != s.entry.segment ||
+            it->second.record_offset != s.entry.record_offset) {
+          continue;  // superseded mid-compaction
+        }
+        it->second.segment = new_id;
+        it->second.record_offset = locations[i].record_offset;
+        it->second.payload_offset = locations[i].payload_offset;
+        fresh.live += it->second.record_bytes;
+      }
+      segments_.emplace(new_id, fresh);
+    }
+    for (uint32_t id : victims) {
+      auto it = segments_.find(id);
+      SEEP_CHECK(it != segments_.end());
+      ::close(it->second.fd);
+      unlink_paths.push_back(it->second.path);
+      segments_.erase(it);
+    }
+    metrics_.compactions.fetch_add(1, std::memory_order_relaxed);
+    metrics_.compaction_bytes_in.fetch_add(bytes_in,
+                                           std::memory_order_relaxed);
+    metrics_.compaction_bytes_out.fetch_add(bytes_out,
+                                            std::memory_order_relaxed);
+  }
+  for (const auto& path : unlink_paths) ::unlink(path.c_str());
+  return Status::OK();
+}
+
+Status CheckpointLog::CompactNow() {
+  return CompactOnce();
+}
+
+Status CheckpointLog::SpotCheck(InstanceId owner) const {
+  sync::MutexLock lock(&mu_);
+  auto it = index_.find(owner);
+  if (it == index_.end()) {
+    return Status::NotFound("no live checkpoint for owner");
+  }
+  const IndexEntry& e = it->second;
+  auto seg = segments_.find(e.segment);
+  SEEP_CHECK(seg != segments_.end());
+  uint8_t fh[serde::kFrameHeaderBytes];
+  SEEP_RETURN_IF_ERROR(
+      ReadExact(seg->second.fd, e.record_offset, fh, sizeof(fh)));
+  SEEP_ASSIGN_OR_RETURN(const serde::FrameHeader header,
+                        serde::ReadFrameHeader(fh, sizeof(fh),
+                                               kMaxMetaBytes));
+  std::vector<uint8_t> buf(header.payload_len);
+  SEEP_RETURN_IF_ERROR(ReadExact(seg->second.fd,
+                                 e.record_offset + sizeof(fh), buf.data(),
+                                 buf.size()));
+  if (serde::Crc32c(buf.data(), buf.size()) != header.crc) {
+    return Status::Corruption("meta frame crc mismatch on disk");
+  }
+  SEEP_ASSIGN_OR_RETURN(const RecordMeta disk,
+                        DecodeRecordMeta(buf.data(), buf.size()));
+  if (disk.owner != e.meta.owner || disk.seq != e.meta.seq ||
+      disk.payload_bytes != e.meta.payload_bytes) {
+    std::ostringstream msg;
+    msg << "index/disk divergence for instance " << owner << ": index seq "
+        << e.meta.seq << " disk seq " << disk.seq;
+    return Status::Corruption(msg.str());
+  }
+  return Status::OK();
+}
+
+Status CheckpointLog::VerifyIndexLocked() const {
+  ReplayState replay;
+  for (const auto& [id, seg] : segments_) {
+    SegmentScan scan = ScanSegment(seg.fd, seg.bytes, config_.max_payload);
+    if (scan.torn || scan.valid_bytes != seg.bytes) {
+      return Status::Corruption(seg.path + " no longer scans clean: " +
+                                scan.torn_detail);
+    }
+    for (const auto& rec : scan.records) {
+      replay.Apply(id, rec, RecordBytes(rec));
+    }
+  }
+  if (replay.live.size() != index_.size()) {
+    std::ostringstream msg;
+    msg << "index has " << index_.size() << " live owners, log replays "
+        << replay.live.size();
+    return Status::Corruption(msg.str());
+  }
+  for (const auto& [owner, e] : index_) {
+    auto it = replay.live.find(owner);
+    if (it == replay.live.end()) {
+      std::ostringstream msg;
+      msg << "instance " << owner << " indexed but not in the log";
+      return Status::Corruption(msg.str());
+    }
+    const RecordMeta& disk = it->second.meta;
+    if (disk.seq != e.meta.seq ||
+        disk.payload_bytes != e.meta.payload_bytes ||
+        disk.holder != e.meta.holder ||
+        disk.raw_bytes != e.meta.raw_bytes ||
+        disk.compressed != e.meta.compressed) {
+      std::ostringstream msg;
+      msg << "instance " << owner << " index meta disagrees with log "
+          << "(index seq " << e.meta.seq << ", log seq " << disk.seq << ")";
+      return Status::Corruption(msg.str());
+    }
+  }
+  for (const auto& [owner, e] : tombstones_) {
+    if (replay.tombstones.count(owner) == 0) {
+      std::ostringstream msg;
+      msg << "instance " << owner << " tombstoned in memory but not in "
+          << "the log";
+      return Status::Corruption(msg.str());
+    }
+  }
+  if (replay.tombstones.size() != tombstones_.size()) {
+    return Status::Corruption("log replays tombstones the index misses");
+  }
+  return Status::OK();
+}
+
+Status CheckpointLog::VerifyIndex() const {
+  sync::MutexLock lock(&mu_);
+  return VerifyIndexLocked();
+}
+
+size_t CheckpointLog::segment_count() const {
+  sync::MutexLock lock(&mu_);
+  return segments_.size();
+}
+
+uint64_t CheckpointLog::total_bytes() const {
+  sync::MutexLock lock(&mu_);
+  uint64_t total = 0;
+  for (const auto& [id, seg] : segments_) total += seg.bytes;
+  return total;
+}
+
+uint64_t CheckpointLog::live_bytes() const {
+  sync::MutexLock lock(&mu_);
+  uint64_t live = 0;
+  for (const auto& [id, seg] : segments_) live += seg.live;
+  return live;
+}
+
+Status CheckpointLog::last_compaction_error() const {
+  sync::MutexLock lock(&mu_);
+  return last_compaction_error_;
+}
+
+}  // namespace seep::store

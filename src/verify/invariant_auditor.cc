@@ -155,7 +155,74 @@ void InvariantAuditor::OnCheckpointStored(InstanceId owner, VmId owner_vm,
     Fail("aborted-checkpoint-stored", msg.str());
     return;
   }
+  if (durable_) {
+    auto it = durable_seq_.find(owner);
+    if (it == durable_seq_.end() || it->second < seq) {
+      std::ostringstream msg;
+      msg << "checkpoint seq " << seq << " of instance " << owner
+          << " stored (and about to trigger trim acks) without a durable "
+             "append covering it (durable log has "
+          << (it == durable_seq_.end() ? std::string("nothing")
+                                       : "seq " + std::to_string(it->second))
+          << ")";
+      Fail("durable-log-covers-trim", msg.str());
+      return;
+    }
+  }
   last_stored_seq_[owner] = seq;
+}
+
+// ------------------------------------------------ durable checkpoint log
+
+void InvariantAuditor::SetDurableMode(bool durable) { durable_ = durable; }
+
+void InvariantAuditor::OnDurableAppend(InstanceId owner, uint64_t seq) {
+  if (level_ < kAuditCheap) return;
+  if (durable_tombstoned_.count(owner) != 0) {
+    std::ostringstream msg;
+    msg << "durable append of seq " << seq << " for instance " << owner
+        << " after its tombstone (instance ids are never reused, so a "
+           "tombstoned owner can never store again)";
+    Fail("index-matches-log", msg.str());
+    return;
+  }
+  auto it = durable_seq_.find(owner);
+  if (it != durable_seq_.end() && seq <= it->second) {
+    std::ostringstream msg;
+    msg << "durable append of seq " << seq << " for instance " << owner
+        << " after seq " << it->second << " was already appended";
+    Fail("index-matches-log", msg.str());
+    return;
+  }
+  durable_seq_[owner] = seq;
+}
+
+void InvariantAuditor::OnDurableTombstone(InstanceId owner) {
+  if (level_ < kAuditCheap) return;
+  durable_tombstoned_.insert(owner);
+  durable_seq_.erase(owner);
+}
+
+void InvariantAuditor::OnDurableIndexState(InstanceId owner, bool present,
+                                           uint64_t seq) {
+  if (level_ < kAuditCheap) return;
+  const auto it = durable_seq_.find(owner);
+  const bool expect_present = it != durable_seq_.end();
+  if (present != expect_present ||
+      (present && expect_present && seq != it->second)) {
+    std::ostringstream msg;
+    msg << "durable index view of instance " << owner << " is "
+        << (present ? "seq " + std::to_string(seq) : std::string("absent"))
+        << " but the append stream replays "
+        << (expect_present ? "seq " + std::to_string(it->second)
+                           : std::string("absent"));
+    Fail("index-matches-log", msg.str());
+  }
+}
+
+void InvariantAuditor::OnDurableIndexDivergence(const std::string& detail) {
+  if (level_ < kAuditCheap) return;
+  Fail("index-matches-log", detail);
 }
 
 // --------------------------------------- asynchronous checkpoint pipeline

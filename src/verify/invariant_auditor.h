@@ -206,6 +206,33 @@ class InvariantAuditor {
   /// it).
   void OnPlanFinished(uint64_t plan_id, OperatorId op, bool aborted);
 
+  // ------------------------------------------------ durable checkpoint log
+
+  /// The cluster runs a durable backup tier (kDisk/kTiered). While set,
+  /// OnCheckpointStored additionally asserts durable-log-covers-trim: the
+  /// store that is about to trigger trim acks was preceded by a durable
+  /// append of the same or newer sequence, so tuples are never trimmed on
+  /// the strength of a checkpoint that only exists in volatile memory.
+  void SetDurableMode(bool durable);
+
+  /// A checkpoint record for `owner` seq `seq` was appended to the durable
+  /// log. Asserts durable monotonicity (appends never regress per owner)
+  /// and no-append-after-tombstone.
+  void OnDurableAppend(InstanceId owner, uint64_t seq);
+
+  /// A tombstone record for `owner` was appended (terminal delete).
+  void OnDurableTombstone(InstanceId owner);
+
+  /// The log's index view of `owner` after a mutation. Asserts
+  /// index-matches-log: the index agrees with the mirror replayed from the
+  /// append/tombstone stream — present exactly when appended and not
+  /// tombstoned, at the latest appended sequence.
+  void OnDurableIndexState(InstanceId owner, bool present, uint64_t seq);
+
+  /// A disk-level divergence found by the log's own read-back checks
+  /// (SpotCheck/VerifyIndex at level 2); reported under index-matches-log.
+  void OnDurableIndexDivergence(const std::string& detail);
+
   // ----------------------------------------------- recovery: exactly-once
 
   /// A tuple stamped (origin, timestamp) survived duplicate filtering at a
@@ -276,6 +303,11 @@ class InvariantAuditor {
     uint64_t replay_sent_at_fence = 0;
   };
   std::map<std::pair<uint64_t, LinkKey>, FenceSnapshot> fence_snapshots_;
+
+  // Durable-log mirrors.
+  bool durable_ = false;
+  std::map<InstanceId, uint64_t> durable_seq_;
+  std::set<InstanceId> durable_tombstoned_;
 
   // Exactly-once stamp sets, per (sink_op, origin). Level 2 only.
   std::map<std::pair<OperatorId, core::OriginId>, std::unordered_set<int64_t>>

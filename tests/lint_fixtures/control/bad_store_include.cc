@@ -1,0 +1,6 @@
+// Fixture: a coordinator including the checkpoint log directly instead
+// of going through the BackupStore tier. Violates
+// store-only-in-backup-path.
+#include "store/checkpoint_log.h"
+
+void CoordinatorTouchingTheLogDirectly() {}

@@ -1,0 +1,6 @@
+// Fixture: the storage engine including a runtime header. store/ is a
+// leaf over serde/ and common/; it must never see protocol objects.
+// Violates store-isolation.
+#include "runtime/backup_store.h"
+
+void StoreReachingAboveTheSeam() {}

@@ -148,6 +148,51 @@ TEST(TcpTransportIntegration, FailureRecoversExactlyOnceOverTcp) {
   EXPECT_EQ(with_failure.audit_violations, 0u);
 }
 
+TEST(TcpTransportIntegration, CorrelatedKillRecoversFromDurableLogOverTcp) {
+  // The durability tentpole over real sockets: the counter's VM AND the VM
+  // of the upstream instance holding its backup are hard-killed in the same
+  // instant, so the in-memory backup dies with the holder and recovery has
+  // to come off the on-disk checkpoint log (kTiered). Exactly-once must
+  // still hold against the failure-free sim reference, with the level-2
+  // auditor (including the durable-log invariants) silent.
+  const WordCountConfig wc = BaseWorkload();
+  sps::SpsConfig config = BaseConfig(runtime::TransportKind::kTcp);
+  config.cluster.audit_level = verify::kAuditExpensive;
+  config.cluster.backup_durability = runtime::BackupDurability::kTiered;
+
+  RunOutcome baseline =
+      RunQuery(wc, BaseConfig(runtime::TransportKind::kSim), 150);
+  RunOutcome with_failure = RunQuery(wc, config, 150, [](sps::Sps& sps) {
+    runtime::Cluster& cluster = sps.cluster();
+    cluster.simulation()->ScheduleAt(SecondsToSim(47), [&cluster]() {
+      const auto live = cluster.LiveInstancesOf(/*counter op id=*/2);
+      ASSERT_FALSE(live.empty());
+      const InstanceId owner = live.front();
+      const InstanceId holder = cluster.backups()->HolderOf(owner);
+      const auto* h = cluster.GetInstance(holder);
+      ASSERT_NE(h, nullptr);
+      const VmId holder_vm = h->vm();
+      const VmId owner_vm = cluster.GetInstance(owner)->vm();
+      EXPECT_TRUE(cluster.membership()->KillVm(owner_vm).ok());
+      EXPECT_TRUE(cluster.membership()->KillVm(holder_vm).ok());
+    });
+  });
+
+  // Both dead instances recovered over TCP, and the durable log actually
+  // served at least one checkpoint back.
+  EXPECT_EQ(with_failure.recoveries_completed, 2u);
+  EXPECT_GE(with_failure.disconnects_observed, 1u);
+
+  const auto expected = StableWindows(baseline.counts, 3);
+  const auto actual = StableWindows(with_failure.counts, 3);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(expected, actual);
+  for (const auto& v : with_failure.violations) {
+    ADD_FAILURE() << "audit violation " << v.invariant << ": " << v.detail;
+  }
+  EXPECT_EQ(with_failure.audit_violations, 0u);
+}
+
 TEST(TcpTransportIntegration, DetachMidFlightKeepsPumpAccountingCoherent) {
   // Regression for the DetachVm path that zeroed the in-flight delivery
   // accounting outside Impl::mu (rule: every inbox / in_flight access

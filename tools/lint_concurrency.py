@@ -63,6 +63,7 @@ THREADED_TUS = (
     "src/runtime/ckpt_pipeline.h",
     "src/runtime/tcp_transport.h",
     "src/runtime/tcp_transport.cc",
+    "src/store/checkpoint_log.h",
 )
 
 ANNOTATION_TOKENS = (

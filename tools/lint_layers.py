@@ -3,9 +3,9 @@
 
 The repo is layered (see DESIGN.md): each directory under src/ may only
 include headers from itself and from the layers listed in LAYER_DEPS. On
-top of the layer map, six seam rules protect the component interfaces
-introduced by the runtime decomposition, the networking subsystem and the
-reconfiguration plane:
+top of the layer map, eight seam rules protect the component interfaces
+introduced by the runtime decomposition, the networking subsystem, the
+reconfiguration plane and the durable checkpoint store:
 
   * control-no-raw-network: src/control/ must not include sim/network.h.
     Coordinators act on the cluster through the Transport interface; a
@@ -35,6 +35,15 @@ reconfiguration plane:
     mutate the cluster exclusively by building ReconfigPlans; a direct
     deploy/reroute would dodge the plan's compensations and the
     plan-scoped audit invariants (no-leaked-vm, routes-restored-on-abort).
+  * store-isolation: src/store/ is a storage-engine leaf; it may include
+    only serde/ (framing, crc, compression) and common/. The log knows
+    bytes and record metadata, never operators, checkpoint objects or
+    the cluster — those live above the BackupStore seam.
+  * store-only-in-backup-path: outside src/store/ itself, only the
+    backup/recovery path (runtime/backup_store.* and runtime/cluster.*)
+    may include store/ headers. Coordinators, transports and workers see
+    durability exclusively through the BackupStore tier, so the kMemory
+    default stays byte-identical and the log can change format freely.
   * no-upward-dependency: a layer including a header from a higher layer
     (e.g. core including runtime/) — the generic layer-map check.
 
@@ -57,10 +66,12 @@ LAYER_DEPS = {
     "sim": {"common"},
     "net": {"common", "serde"},
     "cloud": {"common", "sim"},
+    "store": {"common", "serde"},
     "core": {"common", "serde"},
     "verify": {"common", "serde", "core"},
     "workloads": {"common", "serde", "core"},
-    "runtime": {"common", "serde", "sim", "net", "cloud", "core", "verify"},
+    "runtime": {"common", "serde", "sim", "net", "cloud", "store", "core",
+                "verify"},
     "control": {"common", "serde", "sim", "cloud", "core", "verify",
                 "runtime"},
     "sps": {"common", "serde", "sim", "cloud", "core", "verify", "runtime",
@@ -79,6 +90,17 @@ NET_INCLUDE_ALLOWLIST = {
 # Layers the net library must never see: anything that runs protocol
 # logic or the simulation. net ships opaque framed bytes, nothing more.
 NET_FORBIDDEN_TARGETS = {"runtime", "control", "cloud", "sim"}
+
+# The only files outside src/store/ allowed to include store/ headers:
+# the BackupStore tiering seam and the Cluster that owns/wires the log.
+STORE_INCLUDE_ALLOWLIST = {
+    Path("runtime/backup_store.h"), Path("runtime/backup_store.cc"),
+    Path("runtime/cluster.h"), Path("runtime/cluster.cc"),
+}
+
+# What the storage engine itself may include: framing/compression and the
+# base layer. Anything else is protocol knowledge leaking below the seam.
+STORE_ALLOWED_TARGETS = {"store", "serde", "common"}
 
 # Cluster-mutating calls reserved for the reconfiguration plane (and the
 # initial deployment). Matched against control/ source text, not includes.
@@ -115,11 +137,26 @@ def lint_tree(src_root):
             target = inc.split("/", 1)[0] if "/" in inc else None
             where = f"{src_root}/{rel}:{number}"
             if target in LAYER_DEPS and target != layer \
-                    and target not in allowed:
+                    and target not in allowed and layer != "store":
                 violations.append((
                     "no-upward-dependency", where,
                     f"layer '{layer}' must not include '{inc}' "
                     f"(allowed: {', '.join(sorted(allowed)) or 'none'})"))
+            if layer == "store" and target in LAYER_DEPS \
+                    and target not in STORE_ALLOWED_TARGETS:
+                violations.append((
+                    "store-isolation", where,
+                    "src/store/ is a storage-engine leaf over serde/ and "
+                    f"common/; it must not include '{inc}' — protocol "
+                    "objects stay above the BackupStore seam"))
+            if layer != "store" and inc.startswith("store/") \
+                    and rel not in STORE_INCLUDE_ALLOWLIST:
+                violations.append((
+                    "store-only-in-backup-path", where,
+                    "only the backup/recovery path (runtime/backup_store.*, "
+                    "runtime/cluster.*) may include store/ headers; "
+                    "everything else sees durability through the "
+                    "BackupStore tier"))
             if layer == "control" and inc == "sim/network.h":
                 violations.append((
                     "control-no-raw-network", where,
@@ -179,7 +216,8 @@ def self_test(repo_root):
     expected = {"no-upward-dependency", "control-no-raw-network",
                 "component-no-cluster-header", "net-isolation",
                 "net-only-in-transport", "ckpt-worker-no-net",
-                "coordinator-via-plan-only"}
+                "coordinator-via-plan-only", "store-isolation",
+                "store-only-in-backup-path"}
     missing = expected - found
     if missing:
         print("lint_layers self-test FAILED; rules that did not fire on "

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the benches in Release mode and runs the state hot-path, net
-# transport and checkpoint pipeline benchmarks, leaving
-# BENCH_state_hot_paths.json, BENCH_net_transport.json and
-# BENCH_ckpt_pipeline.json in the repo root.
+# transport, checkpoint pipeline and durable store benchmarks, leaving
+# BENCH_state_hot_paths.json, BENCH_net_transport.json,
+# BENCH_ckpt_pipeline.json and BENCH_durable_store.json in the repo root.
 #
 # Usage: tools/run_benches.sh [extra bench binaries...]
 #   tools/run_benches.sh                         # default benches only
@@ -15,7 +15,8 @@ build_dir="${repo_root}/build-release"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_state_hot_paths bench_net_transport bench_ckpt_pipeline "$@"
+  --target bench_state_hot_paths bench_net_transport bench_ckpt_pipeline \
+           bench_durable_store "$@"
 
 "${build_dir}/bench/bench_state_hot_paths" \
     "${repo_root}/BENCH_state_hot_paths.json"
@@ -23,6 +24,8 @@ cmake --build "${build_dir}" -j "$(nproc)" \
     "${repo_root}/BENCH_net_transport.json"
 "${build_dir}/bench/bench_ckpt_pipeline" \
     "${repo_root}/BENCH_ckpt_pipeline.json"
+"${build_dir}/bench/bench_durable_store" \
+    "${repo_root}/BENCH_durable_store.json"
 
 for bench in "$@"; do
   echo "==== ${bench} ===="
@@ -32,3 +35,4 @@ done
 echo "results: ${repo_root}/BENCH_state_hot_paths.json"
 echo "results: ${repo_root}/BENCH_net_transport.json"
 echo "results: ${repo_root}/BENCH_ckpt_pipeline.json"
+echo "results: ${repo_root}/BENCH_durable_store.json"
