@@ -60,7 +60,7 @@ VmId CloudProvider::RequestVmImmediate() {
   return id;
 }
 
-seep::Status CloudProvider::KillVm(VmId id) {
+[[nodiscard]] seep::Status CloudProvider::KillVm(VmId id) {
   Vm* vm = GetMutableVm(id);
   if (vm == nullptr) return seep::Status::NotFound("unknown VM");
   if (vm->state == VmState::kFailed || vm->state == VmState::kReleased) {
@@ -72,7 +72,7 @@ seep::Status CloudProvider::KillVm(VmId id) {
   return seep::Status::OK();
 }
 
-seep::Status CloudProvider::ReleaseVm(VmId id) {
+[[nodiscard]] seep::Status CloudProvider::ReleaseVm(VmId id) {
   Vm* vm = GetMutableVm(id);
   if (vm == nullptr) return seep::Status::NotFound("unknown VM");
   if (vm->state == VmState::kFailed || vm->state == VmState::kReleased) {
@@ -84,7 +84,13 @@ seep::Status CloudProvider::ReleaseVm(VmId id) {
   return seep::Status::OK();
 }
 
-seep::Status CloudProvider::MarkInUse(VmId id) {
+void CloudProvider::ReleaseVmCompensating(VmId id) {
+  const seep::Status st = ReleaseVm(id);
+  SEEP_CHECK(st.ok() ||
+             st.code() == seep::StatusCode::kFailedPrecondition);
+}
+
+[[nodiscard]] seep::Status CloudProvider::MarkInUse(VmId id) {
   Vm* vm = GetMutableVm(id);
   if (vm == nullptr) return seep::Status::NotFound("unknown VM");
   if (vm->state != VmState::kPooled) {

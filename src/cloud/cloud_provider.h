@@ -45,13 +45,21 @@ class CloudProvider {
 
   /// Marks a VM failed (crash-stop). Returns NotFound for unknown ids and
   /// FailedPrecondition if it already terminated.
-  seep::Status KillVm(VmId id);
+  [[nodiscard]] seep::Status KillVm(VmId id);
 
   /// Returns a VM to the provider; billing stops.
-  seep::Status ReleaseVm(VmId id);
+  [[nodiscard]] seep::Status ReleaseVm(VmId id);
+
+  /// Release on a compensation/retire path, where racing a VM failure is
+  /// expected: FailedPrecondition ("already terminated") is the benign
+  /// outcome of releasing a VM that died mid-plan and is absorbed; any
+  /// other failure (e.g. NotFound) means the caller's bookkeeping holds a
+  /// VM the provider does not know — a billing leak the no-leaked-vm
+  /// invariant exists to prevent — and aborts.
+  void ReleaseVmCompensating(VmId id);
 
   /// Transition a pooled VM to in-use (bookkeeping only).
-  seep::Status MarkInUse(VmId id);
+  [[nodiscard]] seep::Status MarkInUse(VmId id);
 
   const Vm* GetVm(VmId id) const;
   Vm* GetMutableVm(VmId id);

@@ -13,7 +13,7 @@ namespace seep {
 /// Accessing value() on an error Result aborts (programmer error); callers
 /// are expected to test ok() or use SEEP_ASSIGN_OR_RETURN.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error Status keeps call sites
   /// terse (`return value;` / `return Status::NotFound(...)`), matching the
@@ -26,7 +26,7 @@ class Result {
   bool ok() const { return value_.has_value(); }
 
   const Status& status() const& { return status_; }
-  Status status() && { return std::move(status_); }
+  [[nodiscard]] Status status() && { return std::move(status_); }
 
   const T& value() const& {
     SEEP_CHECK(ok());

@@ -4,7 +4,7 @@
 
 namespace seep::control {
 
-Status DeploymentManager::DeployAll(
+[[nodiscard]] Status DeploymentManager::DeployAll(
     const std::map<OperatorId, uint32_t>& initial_parallelism) {
   const core::QueryGraph* graph = cluster_->graph();
   SEEP_RETURN_IF_ERROR(graph->Validate());

@@ -23,7 +23,7 @@ class DeploymentManager {
   /// operator"); `initial_parallelism` overrides this per operator with an
   /// even key-range split — the static/manual deployment of the Fig. 10
   /// experiment. Sources deploy their configured source_parallelism.
-  Status DeployAll(
+  [[nodiscard]] Status DeployAll(
       const std::map<OperatorId, uint32_t>& initial_parallelism = {});
 
  private:

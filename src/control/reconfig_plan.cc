@@ -115,7 +115,7 @@ void RequestVms(const std::shared_ptr<PlanContext>& ctx, uint32_t count,
       if (!ctx->active) {
         // The grant landed after the plan aborted (the pool has no cancel):
         // return the VM immediately so nothing leaks.
-        (void)ctx->cluster->provider()->ReleaseVm(vm);
+        ctx->cluster->provider()->ReleaseVmCompensating(vm);
         return;
       }
       NotePlanVmAcquired(*ctx, vm);
@@ -128,8 +128,12 @@ void RequestVms(const std::shared_ptr<PlanContext>& ctx, uint32_t count,
 
 /// Restores partition `i` onto its deployed instance, starts it, and stores
 /// the partition checkpoint as the new partition's initial backup at the
-/// holder (Algorithm 2 line 8).
-void RestoreOnePartition(PlanContext& ctx, uint32_t i, InstanceId new_id) {
+/// holder (Algorithm 2 line 8). Returns the store's status: under kDisk a
+/// failed durable append leaves the new partition with no recoverable
+/// backup, and the plan must abort (compensations retire the partial
+/// deployment) rather than commit an unprotected operator.
+[[nodiscard]] Status RestoreOnePartition(PlanContext& ctx, uint32_t i,
+                                         InstanceId new_id) {
   runtime::OperatorInstance* inst = ctx.cluster->GetInstance(new_id);
   SEEP_CHECK(inst != nullptr);
   const core::StateCheckpoint& part = (*ctx.parts)[i];
@@ -143,7 +147,9 @@ void RestoreOnePartition(PlanContext& ctx, uint32_t i, InstanceId new_id) {
     // Store before the audit hook: with a durable tier the log append
     // happens inside Store, and durable-log-covers-trim requires the record
     // to be on disk by the time the stored event fires.
-    ctx.cluster->backups()->Store(new_id, ctx.holder, std::move(initial));
+    SEEP_RETURN_IF_ERROR(
+        ctx.cluster->backups()->Store(new_id, ctx.holder,
+                                      std::move(initial)));
     if (auto* audit = ctx.cluster->audit()) {
       const runtime::OperatorInstance* h = ctx.cluster->GetInstance(ctx.holder);
       audit->OnCheckpointStored(new_id, inst->vm(), ctx.holder,
@@ -151,6 +157,7 @@ void RestoreOnePartition(PlanContext& ctx, uint32_t i, InstanceId new_id) {
                                 initial_seq);
     }
   }
+  return Status::OK();
 }
 
 /// Ships partition `i` from the holder to its new VM (after the holder spent
@@ -162,7 +169,14 @@ void ShipOnePartition(const std::shared_ptr<PlanContext>& ctx, uint32_t i,
   const InstanceId new_id = ctx->new_ids[i];
   auto restore_one = [ctx, i, new_id, remaining, done]() {
     if (!ctx->active) return;  // aborted while the state was in flight
-    RestoreOnePartition(*ctx, i, new_id);
+    const Status restored = RestoreOnePartition(*ctx, i, new_id);
+    if (!restored.ok()) {
+      // Aborting marks the context inactive, so sibling restores still
+      // in flight become no-ops and done() fires exactly once (the
+      // executor's epoch guard absorbs any stale completion).
+      done(restored);
+      return;
+    }
     if (--(*remaining) == 0) done(Status::OK());
   };
   if (ctx->have_backup && ctx->from_disk) {
@@ -269,7 +283,9 @@ ReconfigStage AcquireVmsStage(uint32_t count, SimTime pre_delay,
   };
   stage.compensate = [](PlanContext& ctx) {
     for (VmId vm : ctx.vms) {
-      (void)ctx.cluster->provider()->ReleaseVm(vm);
+      // A VM that failed mid-plan is already terminated; any other
+      // release failure is a billing leak and aborts in the helper.
+      ctx.cluster->provider()->ReleaseVmCompensating(vm);
       NotePlanVmDisposed(ctx, vm);
     }
     ctx.vms.clear();

@@ -45,7 +45,7 @@ OperatorId QueryGraph::AddSink(std::string name, SinkFactory factory,
   return operators_.back().id;
 }
 
-Status QueryGraph::Connect(OperatorId from, OperatorId to) {
+[[nodiscard]] Status QueryGraph::Connect(OperatorId from, OperatorId to) {
   if (from >= operators_.size() || to >= operators_.size()) {
     return Status::InvalidArgument("unknown operator id in Connect");
   }
@@ -61,7 +61,7 @@ Status QueryGraph::Connect(OperatorId from, OperatorId to) {
   return Status::OK();
 }
 
-Status QueryGraph::Validate() const {
+[[nodiscard]] Status QueryGraph::Validate() const {
   if (operators_.empty()) return Status::InvalidArgument("empty query");
   // Kahn's algorithm doubles as the cycle check.
   std::map<OperatorId, size_t> indegree;

@@ -60,11 +60,11 @@ class QueryGraph {
 
   /// Adds a stream s = (from, to). The order of Connect calls per `from`
   /// defines the emission port numbering seen by Collector::EmitTo.
-  Status Connect(OperatorId from, OperatorId to);
+  [[nodiscard]] Status Connect(OperatorId from, OperatorId to);
 
   /// Checks the graph is a DAG, every operator is reachable from a source,
   /// sources have no inputs, sinks no outputs.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   const OperatorSpec* Get(OperatorId id) const;
   const std::vector<OperatorSpec>& operators() const { return operators_; }

@@ -141,6 +141,7 @@ void ProcessingState::Encode(serde::Encoder* enc) const {
   }
 }
 
+[[nodiscard]]
 Result<ProcessingState> ProcessingState::Decode(serde::Decoder* dec) {
   ProcessingState out;
   uint64_t n;
@@ -211,6 +212,7 @@ void InputPositions::Encode(serde::Encoder* enc) const {
   }
 }
 
+[[nodiscard]]
 Result<InputPositions> InputPositions::Decode(serde::Decoder* dec) {
   InputPositions out;
   uint64_t n;
@@ -323,7 +325,7 @@ void BufferState::Encode(serde::Encoder* enc) const {
   }
 }
 
-Result<BufferState> BufferState::Decode(serde::Decoder* dec) {
+[[nodiscard]] Result<BufferState> BufferState::Decode(serde::Decoder* dec) {
   BufferState out;
   uint64_t n_ops;
   SEEP_ASSIGN_OR_RETURN(n_ops, dec->ReadVarint64());
@@ -413,6 +415,7 @@ void StateCheckpoint::Encode(serde::Encoder* enc) const {
   }
 }
 
+[[nodiscard]]
 Result<StateCheckpoint> StateCheckpoint::Decode(serde::Decoder* dec) {
   StateCheckpoint c;
   SEEP_ASSIGN_OR_RETURN(c.op, dec->ReadFixed32());
@@ -455,7 +458,7 @@ std::vector<uint8_t> StateCheckpoint::Serialize() const {
   return serde::FramePayload(enc.buffer());
 }
 
-Result<StateCheckpoint> StateCheckpoint::Deserialize(
+[[nodiscard]] Result<StateCheckpoint> StateCheckpoint::Deserialize(
     const std::vector<uint8_t>& raw) {
   auto payload = serde::UnframePayload(raw);
   if (!payload.ok()) return payload.status();

@@ -76,7 +76,7 @@ class ProcessingState {
                   const std::vector<KeyHash>& deleted);
 
   void Encode(serde::Encoder* enc) const;
-  static Result<ProcessingState> Decode(serde::Decoder* dec);
+  [[nodiscard]] static Result<ProcessingState> Decode(serde::Decoder* dec);
 
  private:
   void EnsureSorted() const;
@@ -118,7 +118,7 @@ class InputPositions {
   void UpperBoundWith(const InputPositions& other);
 
   void Encode(serde::Encoder* enc) const;
-  static Result<InputPositions> Decode(serde::Decoder* dec);
+  [[nodiscard]] static Result<InputPositions> Decode(serde::Decoder* dec);
 
  private:
   std::map<OriginId, int64_t> positions_;
@@ -222,7 +222,7 @@ class BufferState {
   size_t EncodedSize() const;
 
   void Encode(serde::Encoder* enc) const;
-  static Result<BufferState> Decode(serde::Decoder* dec);
+  [[nodiscard]] static Result<BufferState> Decode(serde::Decoder* dec);
 
  private:
   std::map<OperatorId, TupleBuffer> buffers_;
@@ -306,11 +306,12 @@ struct StateCheckpoint {
   size_t EncodedSize() const;
 
   void Encode(serde::Encoder* enc) const;
-  static Result<StateCheckpoint> Decode(serde::Decoder* dec);
+  [[nodiscard]] static Result<StateCheckpoint> Decode(serde::Decoder* dec);
 
   /// Round-trips through the wire format; the restore path uses this to
   /// model (and verify) real serialisation.
   std::vector<uint8_t> Serialize() const;
+  [[nodiscard]]
   static Result<StateCheckpoint> Deserialize(const std::vector<uint8_t>& raw);
 };
 

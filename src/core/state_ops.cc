@@ -13,14 +13,14 @@ InstanceId ChooseBackupInstance(InstanceId instance,
   return upstream[h % upstream.size()];
 }
 
-Result<std::vector<StateCheckpoint>> PartitionCheckpoint(
+[[nodiscard]] Result<std::vector<StateCheckpoint>> PartitionCheckpoint(
     const StateCheckpoint& checkpoint, uint32_t pi) {
   if (pi == 0) return Status::InvalidArgument("pi must be >= 1");
   return PartitionCheckpointByRanges(checkpoint,
                                      checkpoint.key_range.SplitEven(pi));
 }
 
-Result<std::vector<StateCheckpoint>> PartitionCheckpointByRanges(
+[[nodiscard]] Result<std::vector<StateCheckpoint>> PartitionCheckpointByRanges(
     const StateCheckpoint& checkpoint, const std::vector<KeyRange>& ranges) {
   if (ranges.empty()) return Status::InvalidArgument("no ranges");
   // Validate coverage: ranges must be sorted, contiguous, and span exactly
@@ -101,6 +101,7 @@ std::vector<KeyRange> BalancedSplitRanges(const StateCheckpoint& checkpoint,
   return ranges;
 }
 
+[[nodiscard]]
 Status ApplyDelta(StateCheckpoint* base, const StateCheckpoint& delta) {
   if (!delta.is_delta) {
     return Status::InvalidArgument("not a delta checkpoint");
@@ -135,7 +136,7 @@ Status ApplyDelta(StateCheckpoint* base, const StateCheckpoint& delta) {
   return Status::OK();
 }
 
-Result<StateCheckpoint> MergeCheckpoints(
+[[nodiscard]] Result<StateCheckpoint> MergeCheckpoints(
     const std::vector<StateCheckpoint>& checkpoints) {
   if (checkpoints.empty()) return Status::InvalidArgument("nothing to merge");
   for (size_t i = 1; i < checkpoints.size(); ++i) {

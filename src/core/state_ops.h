@@ -21,14 +21,14 @@ InstanceId ChooseBackupInstance(InstanceId instance,
 /// first partition only (Algorithm 2 line 7).
 ///
 /// Returns InvalidArgument when pi == 0 or the range is too narrow.
-Result<std::vector<StateCheckpoint>> PartitionCheckpoint(
+[[nodiscard]] Result<std::vector<StateCheckpoint>> PartitionCheckpoint(
     const StateCheckpoint& checkpoint, uint32_t pi);
 
 /// Splits a checkpoint along explicit key ranges (used when the caller wants
 /// distribution-aware splits rather than even hash splits; paper Algorithm 2:
 /// "the key distribution can be used to guide the split"). Ranges must be
 /// disjoint and cover checkpoint.key_range.
-Result<std::vector<StateCheckpoint>> PartitionCheckpointByRanges(
+[[nodiscard]] Result<std::vector<StateCheckpoint>> PartitionCheckpointByRanges(
     const StateCheckpoint& checkpoint, const std::vector<KeyRange>& ranges);
 
 /// Distribution-aware split (Algorithm 2: "the key distribution can be used
@@ -49,13 +49,14 @@ std::vector<KeyRange> BalancedSplitRanges(const StateCheckpoint& checkpoint,
 /// tuples. Fails (before any mutation) if `delta.base_seq` does not match
 /// `base->seq` (a delta applied out of order) or `delta` is not a delta
 /// checkpoint.
+[[nodiscard]]
 Status ApplyDelta(StateCheckpoint* base, const StateCheckpoint& delta);
 
 /// Scale-in support (paper §3.3): merges checkpoints of partitions with
 /// adjacent key ranges into one checkpoint covering their union. Requires a
 /// quiesced capture (both partitions drained), so input positions combine by
 /// upper bound. Checkpoints must be sorted by key range and adjacent.
-Result<StateCheckpoint> MergeCheckpoints(
+[[nodiscard]] Result<StateCheckpoint> MergeCheckpoints(
     const std::vector<StateCheckpoint>& checkpoints);
 
 }  // namespace seep::core

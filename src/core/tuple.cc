@@ -27,7 +27,7 @@ void Tuple::Encode(serde::Encoder* enc) const {
   enc->AppendU8(latency_sample ? 1 : 0);
 }
 
-Result<Tuple> Tuple::Decode(serde::Decoder* dec) {
+[[nodiscard]] Result<Tuple> Tuple::Decode(serde::Decoder* dec) {
   Tuple t;
   SEEP_ASSIGN_OR_RETURN(t.timestamp, dec->ReadVarintSigned64());
   SEEP_ASSIGN_OR_RETURN(t.key, dec->ReadFixed64());
@@ -58,7 +58,7 @@ void TupleBatch::Encode(serde::Encoder* enc) const {
   for (const Tuple& t : tuples) t.Encode(enc);
 }
 
-Result<TupleBatch> TupleBatch::Decode(serde::Decoder* dec) {
+[[nodiscard]] Result<TupleBatch> TupleBatch::Decode(serde::Decoder* dec) {
   TupleBatch batch;
   SEEP_ASSIGN_OR_RETURN(batch.from, dec->ReadFixed32());
   uint8_t replay;

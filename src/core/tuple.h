@@ -47,7 +47,7 @@ struct Tuple {
   bool latency_sample = true;
 
   void Encode(serde::Encoder* enc) const;
-  static Result<Tuple> Decode(serde::Decoder* dec);
+  [[nodiscard]] static Result<Tuple> Decode(serde::Decoder* dec);
 
   /// Exact size of the Encode() output, without encoding. Drives the network
   /// cost model and serialisation CPU cost.
@@ -75,7 +75,7 @@ struct TupleBatch {
   /// tuple; Decode rejects truncated or corrupt input as Status rather than
   /// crashing, since batch frames arrive from the network.
   void Encode(serde::Encoder* enc) const;
-  static Result<TupleBatch> Decode(serde::Decoder* dec);
+  [[nodiscard]] static Result<TupleBatch> Decode(serde::Decoder* dec);
 
   size_t SerializedSize() const;
 };

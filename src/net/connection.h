@@ -19,7 +19,7 @@ namespace seep::net {
 /// sender should ease off; kOverflow means the hard cap was hit and the
 /// frame was dropped (the peer recovers the data through replay, exactly as
 /// it would after a crash).
-enum class SendStatus : uint8_t {
+enum class [[nodiscard]] SendStatus : uint8_t {
   kOk = 0,
   kPressured = 1,
   kOverflow = 2,

@@ -7,6 +7,7 @@
 
 namespace seep::net {
 
+[[nodiscard]]
 Status LocalCluster::StartWorker(VmId vm, Worker::MessageCallback on_message,
                                  Worker::PeerCallback on_peer_disconnect,
                                  Worker::DropCallback on_frames_dropped) {

@@ -26,7 +26,7 @@ class LocalCluster {
 
   /// Creates and starts a worker for `vm`. Callbacks are installed before
   /// the worker starts, so no delivery can be missed.
-  Status StartWorker(VmId vm, Worker::MessageCallback on_message,
+  [[nodiscard]] Status StartWorker(VmId vm, Worker::MessageCallback on_message,
                      Worker::PeerCallback on_peer_disconnect = nullptr,
                      Worker::DropCallback on_frames_dropped = nullptr)
       SEEP_EXCLUDES(mu_);

@@ -16,7 +16,7 @@ namespace seep::net {
 
 namespace {
 
-Status Errno(const char* what) {
+[[nodiscard]] Status Errno(const char* what) {
   // strerror(3) shares a static buffer across threads and this path runs
   // on every event-loop thread; format into a local buffer instead. The
   // GNU strerror_r returns the message pointer (which may ignore buf).
@@ -25,7 +25,7 @@ Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + msg);
 }
 
-Status SetNonBlocking(int fd) {
+[[nodiscard]] Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     return Errno("fcntl(O_NONBLOCK)");
@@ -55,7 +55,7 @@ void ScopedFd::Reset() {
   fd_ = -1;
 }
 
-Result<ScopedFd> ListenLoopback(uint16_t port) {
+[[nodiscard]] Result<ScopedFd> ListenLoopback(uint16_t port) {
   ScopedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Errno("socket");
   int one = 1;
@@ -70,7 +70,7 @@ Result<ScopedFd> ListenLoopback(uint16_t port) {
   return fd;
 }
 
-Result<uint16_t> LocalPort(int fd) {
+[[nodiscard]] Result<uint16_t> LocalPort(int fd) {
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
@@ -79,7 +79,7 @@ Result<uint16_t> LocalPort(int fd) {
   return ntohs(addr.sin_port);
 }
 
-Result<ScopedFd> ConnectLoopback(uint16_t port) {
+[[nodiscard]] Result<ScopedFd> ConnectLoopback(uint16_t port) {
   ScopedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Errno("socket");
   SEEP_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
@@ -93,7 +93,7 @@ Result<ScopedFd> ConnectLoopback(uint16_t port) {
   return fd;
 }
 
-Result<ScopedFd> AcceptConnection(int listen_fd) {
+[[nodiscard]] Result<ScopedFd> AcceptConnection(int listen_fd) {
   const int fd =
       ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
   if (fd < 0) {

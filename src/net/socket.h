@@ -42,19 +42,19 @@ class ScopedFd {
 /// port), non-blocking, listening. The worker harness binds every endpoint
 /// to loopback so tests and benches exercise the real stack without any
 /// external reachability.
-Result<ScopedFd> ListenLoopback(uint16_t port);
+[[nodiscard]] Result<ScopedFd> ListenLoopback(uint16_t port);
 
 /// The local port a bound socket ended up on (after port-0 bind).
-Result<uint16_t> LocalPort(int fd);
+[[nodiscard]] Result<uint16_t> LocalPort(int fd);
 
 /// Starts a non-blocking connect to 127.0.0.1:`port`. The returned socket is
 /// usually still connecting: the caller waits for writability and checks
 /// SO_ERROR (Connection does both).
-Result<ScopedFd> ConnectLoopback(uint16_t port);
+[[nodiscard]] Result<ScopedFd> ConnectLoopback(uint16_t port);
 
 /// Accepts one pending connection as a non-blocking socket. Returns an fd of
 /// -1 (not an error) when the accept queue is empty.
-Result<ScopedFd> AcceptConnection(int listen_fd);
+[[nodiscard]] Result<ScopedFd> AcceptConnection(int listen_fd);
 
 /// Pending SO_ERROR on a socket (0 = none); consumes the error.
 int SocketError(int fd);

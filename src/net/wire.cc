@@ -20,6 +20,7 @@ std::vector<uint8_t> EncodeMessage(const Message& msg) {
   return serde::FramePayload(std::move(enc).TakeBuffer());
 }
 
+[[nodiscard]]
 Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
   serde::Decoder dec(payload);
   Message msg;
@@ -36,7 +37,7 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
   return msg;
 }
 
-Status FrameReader::Consume(const uint8_t* data, size_t n,
+[[nodiscard]] Status FrameReader::Consume(const uint8_t* data, size_t n,
                             std::vector<std::vector<uint8_t>>* out) {
   buf_.insert(buf_.end(), data, data + n);
   while (true) {

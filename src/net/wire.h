@@ -40,6 +40,7 @@ std::vector<uint8_t> EncodeMessage(const Message& msg);
 
 /// Decodes the payload of one frame (already CRC-verified by FrameReader /
 /// UnframePayload) back into a Message.
+[[nodiscard]]
 Result<Message> DecodeMessage(const std::vector<uint8_t>& payload);
 
 /// Incremental parser for a stream of frames. Feed it raw bytes as they
@@ -56,7 +57,7 @@ class FrameReader {
       : max_payload_(max_payload) {}
 
   /// Consumes `n` bytes, appending every completed frame payload to `out`.
-  Status Consume(const uint8_t* data, size_t n,
+  [[nodiscard]] Status Consume(const uint8_t* data, size_t n,
                  std::vector<std::vector<uint8_t>>* out);
 
   /// Bytes buffered waiting for the rest of a frame.

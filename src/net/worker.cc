@@ -14,7 +14,7 @@ Worker::Worker(VmId vm, EndpointRegistry* registry, WorkerOptions options)
 
 Worker::~Worker() { Kill(); }
 
-Status Worker::Start() {
+[[nodiscard]] Status Worker::Start() {
   SEEP_ASSIGN_OR_RETURN(listener_, ListenLoopback(0));
   SEEP_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
   registry_->Register(vm_, port_);
@@ -151,7 +151,14 @@ void Worker::TryConnect(VmId to) {
   hello.type = MessageType::kHello;
   hello.from_vm = vm_;
   hello.to_vm = to;
-  link.conn->Send(EncodeMessage(hello));
+  // The connection was created above in the connecting state, so the
+  // hello only queues: it cannot overflow (empty queue, tiny frame) and
+  // cannot observe a close (no flush happens before connect completes).
+  // Losing it silently would strip VmId attribution from every later
+  // disconnect on this link, so enforce rather than assume.
+  const SendStatus hello_sent = link.conn->Send(EncodeMessage(hello));
+  SEEP_CHECK(hello_sent != SendStatus::kOverflow &&
+             hello_sent != SendStatus::kClosed);
   // A successful (eventual) connect flushes in order: hello, then any
   // frames queued while the link was down.
   while (!link.pending.empty()) {

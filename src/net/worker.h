@@ -75,7 +75,7 @@ class Worker {
 
   /// Binds the listener (ephemeral loopback port), registers it, and starts
   /// the loop thread. Callbacks must be set before Start.
-  Status Start();
+  [[nodiscard]] Status Start();
 
   /// Hard stop, from any thread except the loop thread: unregisters the
   /// endpoint, stops and joins the loop, closes every socket. Peers see the

@@ -35,7 +35,7 @@ BackupStore::EncodedFrame EncodeCheckpointFrame(
 
 /// Unframe (crc32c) + decompress + decode, exactly as the chunk receive
 /// path does for frames off the wire.
-Result<core::StateCheckpoint> DecodeCheckpointFrame(
+[[nodiscard]] Result<core::StateCheckpoint> DecodeCheckpointFrame(
     const std::vector<uint8_t>& frame, uint64_t raw_bytes, bool compressed) {
   SEEP_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
                         serde::UnframePayload(frame));
@@ -61,10 +61,12 @@ void BackupStore::AttachDurable(store::CheckpointLog* log,
   }
 }
 
-void BackupStore::AppendDurable(InstanceId owner, InstanceId holder,
-                                const core::StateCheckpoint& checkpoint,
-                                const EncodedFrame* frame) {
-  if (mode_ == BackupDurability::kMemory || log_ == nullptr) return;
+[[nodiscard]] Status BackupStore::AppendDurable(
+    InstanceId owner, InstanceId holder,
+    const core::StateCheckpoint& checkpoint, const EncodedFrame* frame) {
+  if (mode_ == BackupDurability::kMemory || log_ == nullptr) {
+    return Status::OK();
+  }
   EncodedFrame fresh;
   if (frame == nullptr) {
     fresh = EncodeCheckpointFrame(checkpoint, compress_);
@@ -83,7 +85,7 @@ void BackupStore::AppendDurable(InstanceId owner, InstanceId holder,
     SEEP_LOG(kWarn, 0) << "durable append for instance " << owner
                        << " seq " << checkpoint.seq
                        << " failed: " << st.message();
-    return;
+    return st;
   }
   if (audit_ != nullptr) {
     audit_->OnDurableAppend(owner, checkpoint.seq);
@@ -95,25 +97,31 @@ void BackupStore::AppendDurable(InstanceId owner, InstanceId holder,
       if (!spot.ok()) audit_->OnDurableIndexDivergence(spot.message());
     }
   }
+  return Status::OK();
 }
 
-void BackupStore::Store(InstanceId owner, InstanceId holder,
-                        core::StateCheckpoint checkpoint) {
+[[nodiscard]] Status BackupStore::Store(InstanceId owner, InstanceId holder,
+                                        core::StateCheckpoint checkpoint) {
   // The durable append happens before the in-memory replace: by the time
   // the caller fires trim acks off this store, the record is in the log.
-  AppendDurable(owner, holder, checkpoint, nullptr);
-  if (mode_ == BackupDurability::kDisk) return;  // no in-memory tier
+  const Status durable = AppendDurable(owner, holder, checkpoint, nullptr);
+  if (mode_ == BackupDurability::kDisk) return durable;  // no memory tier
   entries_[owner] = Entry{holder, std::move(checkpoint), false};
+  return Status::OK();  // the memory tier holds it; degradation is logged
 }
 
-void BackupStore::StoreWithFrame(InstanceId owner, InstanceId holder,
-                                 core::StateCheckpoint checkpoint,
-                                 EncodedFrame frame) {
-  AppendDurable(owner, holder, checkpoint, &frame);
-  if (mode_ == BackupDurability::kDisk) return;
+[[nodiscard]] Status BackupStore::StoreWithFrame(InstanceId owner,
+                                                 InstanceId holder,
+                                                 core::StateCheckpoint
+                                                     checkpoint,
+                                                 EncodedFrame frame) {
+  const Status durable = AppendDurable(owner, holder, checkpoint, &frame);
+  if (mode_ == BackupDurability::kDisk) return durable;
   entries_[owner] = Entry{holder, std::move(checkpoint), false};
+  return Status::OK();
 }
 
+[[nodiscard]]
 Result<BackupStore::Entry> BackupStore::Retrieve(InstanceId owner) const {
   auto it = entries_.find(owner);
   if (it != entries_.end()) return it->second;
@@ -123,7 +131,7 @@ Result<BackupStore::Entry> BackupStore::Retrieve(InstanceId owner) const {
   return Status::NotFound("no backup for instance");
 }
 
-Result<BackupStore::Entry> BackupStore::RetrieveDurable(
+[[nodiscard]] Result<BackupStore::Entry> BackupStore::RetrieveDurable(
     InstanceId owner) const {
   const auto meta = log_->Find(owner);
   if (!meta.has_value()) {
@@ -160,11 +168,14 @@ BackupStore::Entry* BackupStore::Mutable(InstanceId owner) {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-void BackupStore::RefreshDurable(InstanceId owner) {
-  if (mode_ == BackupDurability::kMemory || log_ == nullptr) return;
+[[nodiscard]] Status BackupStore::RefreshDurable(InstanceId owner) {
+  if (mode_ == BackupDurability::kMemory || log_ == nullptr) {
+    return Status::OK();
+  }
   auto it = entries_.find(owner);
-  if (it == entries_.end()) return;
-  AppendDurable(owner, it->second.holder, it->second.checkpoint, nullptr);
+  if (it == entries_.end()) return Status::OK();
+  return AppendDurable(owner, it->second.holder, it->second.checkpoint,
+                       nullptr);
 }
 
 void BackupStore::Delete(InstanceId owner) {

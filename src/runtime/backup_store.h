@@ -76,21 +76,28 @@ class BackupStore {
   /// store-backup(holder, owner, checkpoint): replaces any previous backup
   /// of `owner` (Algorithm 1 lines 5-6 delete the old holder's copy). With
   /// a durable tier the log append happens before the in-memory replace:
-  /// once Store returns (and trim acks fire), the record is on disk.
-  void Store(InstanceId owner, InstanceId holder,
-             core::StateCheckpoint checkpoint);
+  /// once Store returns OK (and trim acks fire), the record is on disk.
+  /// Returns non-OK only when NO tier holds the record — under kDisk a
+  /// failed log append stores nothing, and acknowledging it upstream would
+  /// trim tuples the backup cannot restore (the unchecked-status rule
+  /// exists for exactly this path). Under kMemory/kTiered the in-memory
+  /// copy always succeeds, so a durable-append failure only degrades
+  /// durability (logged + counted by the caller), never the ack.
+  [[nodiscard]] Status Store(InstanceId owner, InstanceId holder,
+                             core::StateCheckpoint checkpoint);
 
   /// Store, reusing an already-serialized frame for the durable append
   /// (the chunked-shipping receive path: no second encode, no second copy).
-  void StoreWithFrame(InstanceId owner, InstanceId holder,
-                      core::StateCheckpoint checkpoint, EncodedFrame frame);
+  [[nodiscard]] Status StoreWithFrame(InstanceId owner, InstanceId holder,
+                                      core::StateCheckpoint checkpoint,
+                                      EncodedFrame frame);
 
   /// retrieve-backup(backup(o), o). Returns a copy; restore/partition paths
   /// need one anyway. Hot paths that only inspect or mutate the stored
   /// entry should use Find/Mutable to avoid copying the whole checkpoint.
   /// With a durable tier, a backup missing from memory (holder died, or
   /// kDisk mode) is read back from the log and marked from_disk.
-  Result<Entry> Retrieve(InstanceId owner) const;
+  [[nodiscard]] Result<Entry> Retrieve(InstanceId owner) const;
 
   /// Zero-copy peek at a stored backup (e.g. the per-checkpoint incremental
   /// eligibility check, which only reads holder and seq). Null if absent
@@ -105,8 +112,10 @@ class BackupStore {
   Entry* Mutable(InstanceId owner);
 
   /// Re-appends `owner`'s current in-memory checkpoint to the durable log
-  /// (after an in-place delta apply). No-op in kMemory mode.
-  void RefreshDurable(InstanceId owner);
+  /// (after an in-place delta apply). No-op (OK) in kMemory mode. A
+  /// failure leaves the durable tier one delta behind the (canonical)
+  /// in-memory copy; callers surface it as a store failure metric.
+  [[nodiscard]] Status RefreshDurable(InstanceId owner);
 
   /// Deletes the backup everywhere: memory now, and — with a durable tier —
   /// a terminal tombstone record in the log. Reach this through
@@ -132,10 +141,10 @@ class BackupStore {
   size_t DropHeldBy(InstanceId holder);
 
  private:
-  void AppendDurable(InstanceId owner, InstanceId holder,
-                     const core::StateCheckpoint& checkpoint,
-                     const EncodedFrame* frame);
-  Result<Entry> RetrieveDurable(InstanceId owner) const;
+  [[nodiscard]] Status AppendDurable(InstanceId owner, InstanceId holder,
+                                     const core::StateCheckpoint& checkpoint,
+                                     const EncodedFrame* frame);
+  [[nodiscard]] Result<Entry> RetrieveDurable(InstanceId owner) const;
 
   std::map<InstanceId, Entry> entries_;
   store::CheckpointLog* log_ = nullptr;

@@ -253,7 +253,7 @@ void EncodeChunkHeader(const CkptChunkHeader& h, serde::Encoder* enc) {
   enc->AppendU8(h.compressed ? 1 : 0);
 }
 
-Result<CkptChunkHeader> DecodeChunkHeader(serde::Decoder* dec) {
+[[nodiscard]] Result<CkptChunkHeader> DecodeChunkHeader(serde::Decoder* dec) {
   CkptChunkHeader h;
   SEEP_ASSIGN_OR_RETURN(h.owner, dec->ReadFixed32());
   SEEP_ASSIGN_OR_RETURN(h.owner_op, dec->ReadFixed32());

@@ -201,7 +201,7 @@ struct CkptChunkHeader {
 };
 
 void EncodeChunkHeader(const CkptChunkHeader& h, serde::Encoder* enc);
-Result<CkptChunkHeader> DecodeChunkHeader(serde::Decoder* dec);
+[[nodiscard]] Result<CkptChunkHeader> DecodeChunkHeader(serde::Decoder* dec);
 
 /// Holder-side reassembly of chunked checkpoint frames, keyed by
 /// (owner, seq, holder). Returns the whole frame when the last chunk lands.

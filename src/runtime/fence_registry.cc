@@ -31,7 +31,10 @@ void FenceRegistry::Handle(uint64_t fence_id, OperatorInstance* at) {
         // The forwarded fence inherits the ordering obligation of this hop:
         // it must trail any replayed tuples `at` already sent to `dest`.
         if (audit) audit->OnFenceSent(fence_id, at->id(), dest);
-        cluster_->transport()->SendBatch(at, dest, std::move(fwd));
+        // The fence must traverse now to preserve its ordering
+        // obligation; there is no scheduler loop here to throttle.
+        // seep-ok: unchecked-status -- fence forwarding cannot defer
+        (void)cluster_->transport()->SendBatch(at, dest, std::move(fwd));
       }
     }
     return;

@@ -13,6 +13,7 @@ Membership::Membership(Cluster* cluster) : cluster_(cluster) {}
 
 Membership::~Membership() = default;
 
+[[nodiscard]]
 Result<InstanceId> Membership::DeployInstance(OperatorId op, VmId vm,
                                               core::KeyRange range,
                                               uint32_t source_index,
@@ -96,7 +97,9 @@ void Membership::StopInstance(InstanceId id, bool release_vm) {
   if (release_vm && inst->vm() != kInvalidVm) {
     cluster_->transport()->DetachVm(inst->vm());
     vm_to_instance_.erase(inst->vm());
-    (void)cluster_->provider()->ReleaseVm(inst->vm());
+    // Retire races VM failure; anything beyond "already terminated"
+    // is a leaked-VM bookkeeping bug and aborts inside the helper.
+    cluster_->provider()->ReleaseVmCompensating(inst->vm());
   }
   RecordVmsInUse();
 }
@@ -113,7 +116,7 @@ void Membership::FinalizeRetire(InstanceId id) {
   RecordVmsInUse();
 }
 
-Status Membership::KillVm(VmId vm) {
+[[nodiscard]] Status Membership::KillVm(VmId vm) {
   auto it = vm_to_instance_.find(vm);
   SEEP_RETURN_IF_ERROR(cluster_->provider()->KillVm(vm));
   cluster_->transport()->DetachVm(vm);
@@ -135,7 +138,7 @@ Status Membership::KillVm(VmId vm) {
   return Status::OK();
 }
 
-Status Membership::KillOperator(OperatorId op) {
+[[nodiscard]] Status Membership::KillOperator(OperatorId op) {
   const std::vector<InstanceId> live = LiveInstancesOf(op);
   if (live.empty()) return Status::NotFound("no live instance");
   const OperatorInstance* inst = GetInstance(live.front());

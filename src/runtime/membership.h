@@ -30,7 +30,7 @@ class Membership {
   /// Creates an instance of logical operator `op` on `vm` covering `range`.
   /// The instance is registered as a current partition of `op` but not
   /// started; callers set routing and call Start.
-  Result<InstanceId> DeployInstance(OperatorId op, VmId vm,
+  [[nodiscard]] Result<InstanceId> DeployInstance(OperatorId op, VmId vm,
                                     core::KeyRange range,
                                     uint32_t source_index = 0,
                                     uint32_t source_count = 1);
@@ -69,11 +69,11 @@ class Membership {
   /// Crash-stops a VM: the hosted instance dies, its network endpoint
   /// detaches (in-flight messages drop), and any checkpoint backups stored
   /// on it are lost.
-  Status KillVm(VmId vm);
+  [[nodiscard]] Status KillVm(VmId vm);
 
   /// Convenience for tests/benches: kills the VM hosting the (single)
   /// current instance of `op`.
-  Status KillOperator(OperatorId op);
+  [[nodiscard]] Status KillOperator(OperatorId op);
 
   const std::map<InstanceId, std::unique_ptr<OperatorInstance>>& instances()
       const {

@@ -103,6 +103,11 @@ class MetricsRegistry {
   uint64_t checkpoint_bytes = 0;
   uint64_t delta_checkpoints_taken = 0;
   uint64_t delta_apply_failures = 0;
+  /// Checkpoint stores rejected by the backup store (durable append
+  /// failed with no surviving tier) or durable refreshes that left the
+  /// log a delta behind. Each one is a checkpoint whose trim acks did
+  /// NOT fire — the unchecked-status discipline made these observable.
+  uint64_t ckpt_store_failures = 0;
   uint64_t tuples_replayed = 0;
   uint64_t tuples_processed = 0;
   uint64_t source_saturated_ticks = 0;
@@ -123,6 +128,12 @@ class MetricsRegistry {
   uint64_t ckpt_wire_bytes = 0;
   /// Reassembled frames dropped for failing crc/decompress/decode.
   uint64_t ckpt_decode_failures = 0;
+  /// Wire messages the TCP pump dropped because their body failed to
+  /// decode. The frame already passed the net layer's crc32c, so these
+  /// are encode/decode logic divergence, never line noise — silently
+  /// swallowing them is how a protocol bug becomes unexplained data
+  /// loss (enum-switch-exhaustiveness / unchecked-status discipline).
+  uint64_t wire_decode_failures = 0;
 
   /// Sampling stride for latency_series_ms (1 sample per N sink tuples).
   uint32_t latency_series_stride = 64;

@@ -360,7 +360,11 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
   for (auto& [dest, batch] : outgoing) {
     batch.replay = true;
     if (audit) audit->OnReplaySent(id(), dest, batch.tuples.size());
-    cluster_->transport()->SendBatch(this, dest, std::move(batch));
+    // Replay runs to completion during recovery, outside the job
+    // scheduler the pressure signal throttles; deferring here would
+    // stall the fence below and with it the whole recovery.
+    // seep-ok: unchecked-status -- recovery replay cannot throttle
+    (void)cluster_->transport()->SendBatch(this, dest, std::move(batch));
   }
   if (fence_id != 0) {
     // The fence follows the replay batches on the same FIFO links, so its
@@ -370,7 +374,8 @@ void OperatorInstance::ReplayBuffer(OperatorId down, int64_t from_ts,
       fence.fence_id = fence_id;
       fence.replay = true;
       if (audit) audit->OnFenceSent(fence_id, id(), dest);
-      cluster_->transport()->SendBatch(this, dest, std::move(fence));
+      // seep-ok: unchecked-status -- fence trails replay on FIFO links
+      (void)cluster_->transport()->SendBatch(this, dest, std::move(fence));
     }
   }
 }

@@ -192,7 +192,10 @@ void TcpTransport::BackupCheckpoint(OperatorInstance* owner,
   enc.AppendVarint64(ckpt.ByteSize());
   ckpt.Encode(&enc);
   msg.body = std::move(enc).TakeBuffer();
-  impl_->Ship(owner->vm(), holder->vm(), msg);
+  // Pacing: the pump's bounded wait drains in-flight counts, so the
+  // backup path needs no pressure feedback.
+  // seep-ok: unchecked-status -- paced by in-flight accounting
+  (void)impl_->Ship(owner->vm(), holder->vm(), msg);
 }
 
 CheckpointShipment TcpTransport::PrepareBackup(OperatorInstance* owner,
@@ -230,7 +233,10 @@ void TcpTransport::ShipBackup(OperatorInstance* owner,
   enc.Reserve(ship.payload.size());
   enc.AppendRaw(ship.payload.data(), ship.payload.size());
   msg.body = std::move(enc).TakeBuffer();
-  impl_->Ship(owner->vm(), holder->vm(), msg);
+  // Pacing: the pump's bounded wait drains in-flight counts, so the
+  // backup path needs no pressure feedback.
+  // seep-ok: unchecked-status -- paced by in-flight accounting
+  (void)impl_->Ship(owner->vm(), holder->vm(), msg);
 }
 
 void TcpTransport::ShipCheckpointFrame(OperatorInstance* owner,
@@ -272,7 +278,10 @@ void TcpTransport::ShipCheckpointFrame(OperatorInstance* owner,
     enc.Reserve(len);
     enc.AppendRaw(frame.frame.data() + begin, len);
     msg.body = std::move(enc).TakeBuffer();
-    impl_->Ship(owner->vm(), holder->vm(), msg);
+    // Pacing: the pump's bounded wait drains in-flight counts, so the
+    // backup path needs no pressure feedback.
+    // seep-ok: unchecked-status -- paced by in-flight accounting
+    (void)impl_->Ship(owner->vm(), holder->vm(), msg);
   }
 }
 
@@ -326,6 +335,13 @@ void TcpTransport::SchedulePump() {
                                    [this]() { Pump(); });
 }
 
+void TcpTransport::NoteWireDecodeFailure(const char* what,
+                                         const Status& status) {
+  ++cluster_->metrics()->wire_decode_failures;
+  SEEP_LOG(kWarn, 0) << "dropping wire message: " << what
+                     << " failed to decode: " << status.message();
+}
+
 void TcpTransport::Pump() {
   SEEP_ASSERT_RUN_ON(sync::DriverThread);
   std::deque<net::Message> drained;
@@ -350,9 +366,15 @@ void TcpTransport::Pump() {
       case net::MessageType::kBatch: {
         serde::Decoder dec(msg.body);
         auto to = dec.ReadVarint64();
-        if (!to.ok()) break;
+        if (!to.ok()) {
+          NoteWireDecodeFailure("batch target", to.status());
+          break;
+        }
         auto batch = core::TupleBatch::Decode(&dec);
-        if (!batch.ok()) break;
+        if (!batch.ok()) {
+          NoteWireDecodeFailure("tuple batch", batch.status());
+          break;
+        }
         OperatorInstance* target = cluster_->membership()->GetInstance(
             static_cast<InstanceId>(to.value()));
         if (target != nullptr) target->OnBatch(std::move(batch).value());
@@ -366,10 +388,15 @@ void TcpTransport::Pump() {
         auto bytes = dec.ReadVarint64();
         if (!owner_id.ok() || !owner_op.ok() || !holder_id.ok() ||
             !bytes.ok()) {
+          NoteWireDecodeFailure("checkpoint envelope",
+                                Status::InvalidArgument("short varints"));
           break;
         }
         auto ckpt = core::StateCheckpoint::Decode(&dec);
-        if (!ckpt.ok()) break;
+        if (!ckpt.ok()) {
+          NoteWireDecodeFailure("checkpoint body", ckpt.status());
+          break;
+        }
         DeliverCheckpointToHolder(
             cluster_, static_cast<InstanceId>(owner_id.value()),
             static_cast<OperatorId>(owner_op.value()),
@@ -380,7 +407,10 @@ void TcpTransport::Pump() {
       case net::MessageType::kCheckpointChunk: {
         serde::Decoder dec(msg.body);
         auto header = DecodeChunkHeader(&dec);
-        if (!header.ok()) break;
+        if (!header.ok()) {
+          NoteWireDecodeFailure("chunk header", header.status());
+          break;
+        }
         const uint8_t* data = msg.body.data() + dec.position();
         const size_t n = msg.body.size() - dec.position();
         DeliverCheckpointChunk(cluster_, header.value(), data, n);

@@ -85,6 +85,11 @@ class TcpTransport : public Transport {
   void Pump();
   void SchedulePump();
 
+  /// A wire body that fails to decode after passing the net layer's
+  /// crc32c is protocol divergence: drop the message, but loudly —
+  /// count it and log what/why so the loss is attributable.
+  void NoteWireDecodeFailure(const char* what, const Status& status);
+
   Cluster* cluster_;
   TcpTransportConfig config_;
   std::unique_ptr<Impl> impl_;

@@ -63,8 +63,11 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
     }
     stored_seq = entry->checkpoint.seq;
     // The in-place mutation bypassed Store; re-append so the durable tier
-    // catches up with the folded base (no-op in kMemory mode).
-    cluster->backups()->RefreshDurable(owner_id);
+    // catches up with the folded base (no-op in kMemory mode). The
+    // in-memory copy stays canonical, so a refresh failure degrades
+    // durability (counted) without blocking the ack below.
+    const Status refreshed = cluster->backups()->RefreshDurable(owner_id);
+    if (!refreshed.ok()) ++metrics->ckpt_store_failures;
   } else {
     // Background checkpoint shipments to different holders can arrive out
     // of order; a stale one must never supersede a fresher stored
@@ -77,12 +80,23 @@ void DeliverCheckpointToHolder(Cluster* cluster, InstanceId owner_id,
       return;
     }
     stored_seq = ckpt.seq;
+    Status stored;
     if (prebuilt != nullptr) {
-      cluster->backups()->StoreWithFrame(owner_id, holder_id,
-                                         std::move(ckpt),
-                                         std::move(*prebuilt));
+      stored = cluster->backups()->StoreWithFrame(owner_id, holder_id,
+                                                  std::move(ckpt),
+                                                  std::move(*prebuilt));
     } else {
-      cluster->backups()->Store(owner_id, holder_id, std::move(ckpt));
+      stored = cluster->backups()->Store(owner_id, holder_id,
+                                         std::move(ckpt));
+    }
+    if (!stored.ok()) {
+      // Nothing holds this checkpoint (kDisk append failed). Firing the
+      // trim acks below would let upstream buffers drop tuples the
+      // (nonexistent) backup cannot replay — the exact lost-window bug
+      // the unchecked-status rule guards. Skip the stored event and the
+      // acks; the owner's next checkpoint retries the append.
+      ++metrics->ckpt_store_failures;
+      return;
     }
   }
   if (auto* audit = cluster->audit()) {

@@ -20,7 +20,7 @@ class OperatorInstance;
 /// reports kPressured when the sending worker's queued bytes cross its soft
 /// watermark, and the sending instance throttles its job scheduler briefly
 /// in response.
-enum class SendPressure : uint8_t {
+enum class [[nodiscard]] SendPressure : uint8_t {
   kNone = 0,
   kPressured = 1,
 };

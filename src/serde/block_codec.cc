@@ -103,6 +103,7 @@ std::vector<uint8_t> BlockCompress(const std::vector<uint8_t>& data) {
   return BlockCompress(data.data(), data.size());
 }
 
+[[nodiscard]]
 Result<std::vector<uint8_t>> BlockDecompress(const uint8_t* data, size_t size,
                                              size_t max_output) {
   size_t pos = 0;
@@ -173,6 +174,7 @@ Result<std::vector<uint8_t>> BlockDecompress(const uint8_t* data, size_t size,
   return out;
 }
 
+[[nodiscard]]
 Result<std::vector<uint8_t>> BlockDecompress(const std::vector<uint8_t>& data,
                                              size_t max_output) {
   return BlockDecompress(data.data(), data.size(), max_output);

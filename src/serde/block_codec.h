@@ -30,8 +30,10 @@ std::vector<uint8_t> BlockCompress(const std::vector<uint8_t>& data);
 /// stream, an offset pointing before the output start, a declared size above
 /// `max_output`, or output over/underrun all return Corruption — no byte of
 /// a corrupted block can drive an allocation or an out-of-bounds copy.
+[[nodiscard]]
 Result<std::vector<uint8_t>> BlockDecompress(const uint8_t* data, size_t size,
                                              size_t max_output);
+[[nodiscard]]
 Result<std::vector<uint8_t>> BlockDecompress(const std::vector<uint8_t>& data,
                                              size_t max_output);
 

@@ -24,12 +24,12 @@ class Decoder {
   explicit Decoder(const std::vector<uint8_t>& buf)
       : data_(buf.data()), size_(buf.size()) {}
 
-  Result<uint8_t> ReadU8() {
+  [[nodiscard]] Result<uint8_t> ReadU8() {
     if (pos_ + 1 > size_) return Truncated("u8");
     return data_[pos_++];
   }
 
-  Result<uint32_t> ReadFixed32() {
+  [[nodiscard]] Result<uint32_t> ReadFixed32() {
     if (pos_ + 4 > size_) return Truncated("fixed32");
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= uint32_t(data_[pos_ + i]) << (8 * i);
@@ -37,7 +37,7 @@ class Decoder {
     return v;
   }
 
-  Result<uint64_t> ReadFixed64() {
+  [[nodiscard]] Result<uint64_t> ReadFixed64() {
     if (pos_ + 8 > size_) return Truncated("fixed64");
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= uint64_t(data_[pos_ + i]) << (8 * i);
@@ -45,7 +45,7 @@ class Decoder {
     return v;
   }
 
-  Result<uint64_t> ReadVarint64() {
+  [[nodiscard]] Result<uint64_t> ReadVarint64() {
     uint64_t v = 0;
     int shift = 0;
     while (true) {
@@ -60,14 +60,14 @@ class Decoder {
     }
   }
 
-  Result<int64_t> ReadVarintSigned64() {
+  [[nodiscard]] Result<int64_t> ReadVarintSigned64() {
     auto raw = ReadVarint64();
     if (!raw.ok()) return raw.status();
     const uint64_t u = raw.value();
     return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
   }
 
-  Result<double> ReadDouble() {
+  [[nodiscard]] Result<double> ReadDouble() {
     auto bits = ReadFixed64();
     if (!bits.ok()) return bits.status();
     double v;
@@ -76,7 +76,7 @@ class Decoder {
     return v;
   }
 
-  Result<std::string> ReadString() {
+  [[nodiscard]] Result<std::string> ReadString() {
     auto len = ReadVarint64();
     if (!len.ok()) return len.status();
     if (pos_ + len.value() > size_) return Truncated("string body");
@@ -91,7 +91,7 @@ class Decoder {
   size_t position() const { return pos_; }
 
  private:
-  Status Truncated(const char* what) const {
+  [[nodiscard]] Status Truncated(const char* what) const {
     return Status::Corruption(std::string("truncated input reading ") + what);
   }
 

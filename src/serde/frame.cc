@@ -7,6 +7,7 @@
 
 namespace seep::serde {
 
+[[nodiscard]]
 Result<FrameHeader> ReadFrameHeader(const uint8_t* data, size_t size,
                                     uint64_t max_payload) {
   Decoder dec(data, size);
@@ -28,6 +29,7 @@ std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload) {
   return std::move(enc).TakeBuffer();
 }
 
+[[nodiscard]]
 Result<std::vector<uint8_t>> UnframePayload(const std::vector<uint8_t>& frame,
                                             uint64_t max_payload) {
   FrameHeader header;

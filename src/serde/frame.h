@@ -30,6 +30,7 @@ struct FrameHeader {
 /// `data`. Returns Corruption when fewer than kFrameHeaderBytes are present
 /// or the declared payload length exceeds `max_payload` — checked before any
 /// caller could allocate payload_len bytes.
+[[nodiscard]]
 Result<FrameHeader> ReadFrameHeader(const uint8_t* data, size_t size,
                                     uint64_t max_payload);
 
@@ -42,7 +43,7 @@ std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload);
 /// on a truncated header, a declared length exceeding `max_payload` or the
 /// remaining buffer, or a CRC mismatch. The length checks run before the
 /// payload is copied, so a corrupt length can never drive an allocation.
-Result<std::vector<uint8_t>> UnframePayload(
+[[nodiscard]] Result<std::vector<uint8_t>> UnframePayload(
     const std::vector<uint8_t>& frame,
     uint64_t max_payload = kDefaultMaxFramePayload);
 

@@ -22,7 +22,7 @@ Sps::Sps(core::QueryGraph graph, SpsConfig config)
 
 Sps::~Sps() = default;
 
-Status Sps::Deploy() {
+[[nodiscard]] Status Sps::Deploy() {
   if (deployed_) return Status::FailedPrecondition("already deployed");
   SEEP_RETURN_IF_ERROR(deployment_->DeployAll(config_.initial_parallelism));
   bottleneck_->Start();

@@ -49,7 +49,7 @@ class Sps {
 
   /// Provisions VMs, deploys the execution graph, pre-fills the VM pool and
   /// starts the detectors. Call once, before RunFor.
-  Status Deploy();
+  [[nodiscard]] Status Deploy();
 
   /// Advances simulated time by `seconds`.
   void RunFor(double seconds);

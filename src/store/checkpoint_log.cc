@@ -12,6 +12,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "serde/crc32c.h"
 #include "store/segment.h"
@@ -47,6 +48,7 @@ bool ParseSegmentFileName(const std::string& name, uint32_t* id) {
   return true;
 }
 
+[[nodiscard]]
 Status WriteExact(int fd, uint64_t offset, const uint8_t* data, size_t n) {
   size_t done = 0;
   while (done < n) {
@@ -62,7 +64,7 @@ Status WriteExact(int fd, uint64_t offset, const uint8_t* data, size_t n) {
   return Status::OK();
 }
 
-Status FsyncFd(int fd) {
+[[nodiscard]] Status FsyncFd(int fd) {
   while (::fdatasync(fd) != 0) {
     if (errno == EINTR) continue;
     return Status::Internal(std::string("fdatasync: ") +
@@ -72,7 +74,7 @@ Status FsyncFd(int fd) {
 }
 
 /// Durability of file creation needs the directory entry flushed too.
-Status FsyncDirectory(const std::string& dir) {
+[[nodiscard]] Status FsyncDirectory(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
     return Status::Internal(std::string("open dir: ") +
@@ -138,7 +140,7 @@ uint64_t RecordBytes(const ScannedRecord& rec) {
 CheckpointLog::CheckpointLog(CheckpointLogConfig config)
     : config_(std::move(config)) {}
 
-Result<std::unique_ptr<CheckpointLog>> CheckpointLog::Open(
+[[nodiscard]] Result<std::unique_ptr<CheckpointLog>> CheckpointLog::Open(
     CheckpointLogConfig config) {
   if (config.directory.empty()) {
     return Status::InvalidArgument("checkpoint log needs a directory");
@@ -167,14 +169,20 @@ CheckpointLog::~CheckpointLog() {
   if (compactor_.joinable()) compactor_.join();
   sync::MutexLock lock(&mu_);
   if (config_.fsync != FsyncPolicy::kNever) {
-    (void)MaybeFsyncLocked(/*force=*/true);
+    // A destructor cannot propagate, but a failed final fsync is
+    // potential data loss and must at least be observable.
+    const Status final_sync = MaybeFsyncLocked(/*force=*/true);
+    if (!final_sync.ok()) {
+      SEEP_LOG(kWarn, 0) << "final fsync on close failed: "
+                         << final_sync.message();
+    }
   }
   for (auto& [id, seg] : segments_) {
     if (seg.fd >= 0) ::close(seg.fd);
   }
 }
 
-Status CheckpointLog::Recover() {
+[[nodiscard]] Status CheckpointLog::Recover() {
   const uint64_t t0 = NowNanos();
   std::vector<std::pair<uint32_t, std::string>> files;
   std::error_code ec;
@@ -284,7 +292,7 @@ Status CheckpointLog::Recover() {
   return Status::OK();
 }
 
-Status CheckpointLog::CreateSegmentLocked(uint32_t id) {
+[[nodiscard]] Status CheckpointLog::CreateSegmentLocked(uint32_t id) {
   Segment seg;
   seg.path = config_.directory + "/" + SegmentFileName(id);
   seg.fd = ::open(seg.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
@@ -308,7 +316,7 @@ Status CheckpointLog::CreateSegmentLocked(uint32_t id) {
   return Status::OK();
 }
 
-Status CheckpointLog::RollSegmentLocked() {
+[[nodiscard]] Status CheckpointLog::RollSegmentLocked() {
   Segment& act = segments_[active_id_];
   if (config_.fsync != FsyncPolicy::kNever) {
     SEEP_RETURN_IF_ERROR(FsyncFd(act.fd));
@@ -320,7 +328,7 @@ Status CheckpointLog::RollSegmentLocked() {
   return CreateSegmentLocked(id);
 }
 
-Status CheckpointLog::AppendRecordLocked(const RecordMeta& meta,
+[[nodiscard]] Status CheckpointLog::AppendRecordLocked(const RecordMeta& meta,
                                          const uint8_t* payload, size_t n,
                                          IndexEntry* out) {
   const std::vector<uint8_t> header = EncodeRecordHeader(meta);
@@ -351,7 +359,7 @@ Status CheckpointLog::AppendRecordLocked(const RecordMeta& meta,
   return MaybeFsyncLocked(/*force=*/false);
 }
 
-Status CheckpointLog::MaybeFsyncLocked(bool force) {
+[[nodiscard]] Status CheckpointLog::MaybeFsyncLocked(bool force) {
   if (!dirty_since_fsync_ && !force) return Status::OK();
   bool do_sync = force;
   switch (config_.fsync) {
@@ -378,6 +386,7 @@ Status CheckpointLog::MaybeFsyncLocked(bool force) {
   return Status::OK();
 }
 
+[[nodiscard]]
 Status CheckpointLog::Append(RecordMeta meta, const uint8_t* payload,
                              size_t n) {
   if (n == 0) {
@@ -411,7 +420,7 @@ Status CheckpointLog::Append(RecordMeta meta, const uint8_t* payload,
   return Status::OK();
 }
 
-Status CheckpointLog::AppendTombstone(InstanceId owner) {
+[[nodiscard]] Status CheckpointLog::AppendTombstone(InstanceId owner) {
   RecordMeta meta;
   meta.type = RecordType::kTombstone;
   meta.owner = owner;
@@ -434,7 +443,7 @@ Status CheckpointLog::AppendTombstone(InstanceId owner) {
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> CheckpointLog::ReadPayload(
+[[nodiscard]] Result<std::vector<uint8_t>> CheckpointLog::ReadPayload(
     InstanceId owner) const {
   sync::MutexLock lock(&mu_);
   auto it = index_.find(owner);
@@ -472,7 +481,7 @@ std::vector<RecordMeta> CheckpointLog::LiveRecords() const {
   return out;
 }
 
-Status CheckpointLog::Flush() {
+[[nodiscard]] Status CheckpointLog::Flush() {
   sync::MutexLock lock(&mu_);
   return MaybeFsyncLocked(/*force=*/true);
 }
@@ -524,7 +533,7 @@ void CheckpointLog::CompactorLoop() {
   }
 }
 
-Status CheckpointLog::CompactOnce() {
+[[nodiscard]] Status CheckpointLog::CompactOnce() {
   // Phase 1: snapshot the survivors and victims under mu_. Sealed segments
   // are immutable and their fds are closed only by this function (single
   // flight via compaction_running_), so phase 2 can read them lock-free.
@@ -650,11 +659,11 @@ Status CheckpointLog::CompactOnce() {
   return Status::OK();
 }
 
-Status CheckpointLog::CompactNow() {
+[[nodiscard]] Status CheckpointLog::CompactNow() {
   return CompactOnce();
 }
 
-Status CheckpointLog::SpotCheck(InstanceId owner) const {
+[[nodiscard]] Status CheckpointLog::SpotCheck(InstanceId owner) const {
   sync::MutexLock lock(&mu_);
   auto it = index_.find(owner);
   if (it == index_.end()) {
@@ -688,7 +697,7 @@ Status CheckpointLog::SpotCheck(InstanceId owner) const {
   return Status::OK();
 }
 
-Status CheckpointLog::VerifyIndexLocked() const {
+[[nodiscard]] Status CheckpointLog::VerifyIndexLocked() const {
   ReplayState replay;
   for (const auto& [id, seg] : segments_) {
     SegmentScan scan = ScanSegment(seg.fd, seg.bytes, config_.max_payload);
@@ -739,7 +748,7 @@ Status CheckpointLog::VerifyIndexLocked() const {
   return Status::OK();
 }
 
-Status CheckpointLog::VerifyIndex() const {
+[[nodiscard]] Status CheckpointLog::VerifyIndex() const {
   sync::MutexLock lock(&mu_);
   return VerifyIndexLocked();
 }
@@ -763,7 +772,7 @@ uint64_t CheckpointLog::live_bytes() const {
   return live;
 }
 
-Status CheckpointLog::last_compaction_error() const {
+[[nodiscard]] Status CheckpointLog::last_compaction_error() const {
   sync::MutexLock lock(&mu_);
   return last_compaction_error_;
 }

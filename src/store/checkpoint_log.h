@@ -79,7 +79,7 @@ struct RecoveryInfo {
 /// and to install the swap. `mu_` is a leaf in tools/lock_order.json.
 class CheckpointLog {
  public:
-  static Result<std::unique_ptr<CheckpointLog>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<CheckpointLog>> Open(
       CheckpointLogConfig config);
   ~CheckpointLog();
 
@@ -89,12 +89,14 @@ class CheckpointLog {
   /// Appends a checkpoint record. `meta.payload_bytes` is derived from `n`;
   /// `payload` must be the checkpoint's framed bytes. Fails with
   /// FailedPrecondition for a tombstoned owner.
+  [[nodiscard]]
   Status Append(RecordMeta meta, const uint8_t* payload, size_t n);
 
   /// Appends a tombstone, terminally deleting `owner`. Idempotent.
-  Status AppendTombstone(InstanceId owner);
+  [[nodiscard]] Status AppendTombstone(InstanceId owner);
 
   /// Reads back the framed payload of `owner`'s live checkpoint.
+  [[nodiscard]]
   Result<std::vector<uint8_t>> ReadPayload(InstanceId owner) const;
 
   /// Index lookup: the live checkpoint's meta, or nullopt.
@@ -105,19 +107,19 @@ class CheckpointLog {
   std::vector<RecordMeta> LiveRecords() const;
 
   /// Forces an fdatasync of the active segment regardless of policy.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Runs one synchronous compaction pass over the sealed segments (no-op
   /// when none are sealed). Tests and benches call this for determinism.
-  Status CompactNow();
+  [[nodiscard]] Status CompactNow();
 
   /// Full cross-check: rescans the segment files and verifies the replayed
   /// state matches the in-memory index exactly. Expensive; tests only.
-  Status VerifyIndex() const;
+  [[nodiscard]] Status VerifyIndex() const;
 
   /// Cheap per-operation check (audit level 2): re-reads `owner`'s meta
   /// frame from disk and compares it against the index entry.
-  Status SpotCheck(InstanceId owner) const;
+  [[nodiscard]] Status SpotCheck(InstanceId owner) const;
 
   const StoreMetrics& metrics() const { return metrics_; }
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
@@ -126,7 +128,7 @@ class CheckpointLog {
   size_t segment_count() const;
   uint64_t total_bytes() const;
   uint64_t live_bytes() const;
-  Status last_compaction_error() const;
+  [[nodiscard]] Status last_compaction_error() const;
 
  private:
   struct IndexEntry {
@@ -152,19 +154,20 @@ class CheckpointLog {
 
   explicit CheckpointLog(CheckpointLogConfig config);
 
-  Status Recover();
+  [[nodiscard]] Status Recover();
+  [[nodiscard]]
   Status AppendRecordLocked(const RecordMeta& meta, const uint8_t* payload,
                             size_t n, IndexEntry* out) SEEP_REQUIRES(mu_);
-  Status RollSegmentLocked() SEEP_REQUIRES(mu_);
-  Status CreateSegmentLocked(uint32_t id) SEEP_REQUIRES(mu_);
-  Status MaybeFsyncLocked(bool force) SEEP_REQUIRES(mu_);
+  [[nodiscard]] Status RollSegmentLocked() SEEP_REQUIRES(mu_);
+  [[nodiscard]] Status CreateSegmentLocked(uint32_t id) SEEP_REQUIRES(mu_);
+  [[nodiscard]] Status MaybeFsyncLocked(bool force) SEEP_REQUIRES(mu_);
   bool CompactionNeededLocked() const SEEP_REQUIRES(mu_);
   /// Returns true when a synchronous caller should run CompactOnce after
   /// releasing mu_ (background mode signals the compactor instead).
   bool SignalCompactionLocked() SEEP_REQUIRES(mu_);
-  Status CompactOnce();
+  [[nodiscard]] Status CompactOnce();
   void CompactorLoop();
-  Status VerifyIndexLocked() const SEEP_REQUIRES(mu_);
+  [[nodiscard]] Status VerifyIndexLocked() const SEEP_REQUIRES(mu_);
 
   const CheckpointLogConfig config_;
   mutable StoreMetrics metrics_ SEEP_UNGUARDED("all counters are std::atomic");

@@ -21,6 +21,7 @@ std::vector<uint8_t> EncodeRecordHeader(const RecordMeta& meta) {
   return serde::FramePayload(std::move(enc).TakeBuffer());
 }
 
+[[nodiscard]]
 Result<RecordMeta> DecodeRecordMeta(const uint8_t* data, size_t size) {
   serde::Decoder dec(data, size);
   RecordMeta meta;

@@ -46,6 +46,7 @@ std::vector<uint8_t> EncodeRecordHeader(const RecordMeta& meta);
 
 /// Decodes a RecordMeta from an already-unframed meta payload. Returns
 /// Corruption on truncation, trailing bytes, or an unknown record type.
+[[nodiscard]]
 Result<RecordMeta> DecodeRecordMeta(const uint8_t* data, size_t size);
 
 }  // namespace seep::store

@@ -34,6 +34,7 @@ std::vector<uint8_t> EncodeSegmentHeader(uint32_t id) {
   return std::move(enc).TakeBuffer();
 }
 
+[[nodiscard]]
 Status ReadExact(int fd, uint64_t offset, uint8_t* out, size_t n) {
   size_t done = 0;
   while (done < n) {

@@ -48,7 +48,7 @@ SegmentScan ScanSegment(int fd, uint64_t file_size, uint64_t max_payload);
 
 /// Reads `n` bytes at `offset` with pread, retrying on EINTR. Returns
 /// Corruption on a short read or I/O error.
-Status ReadExact(int fd, uint64_t offset, uint8_t* out, size_t n);
+[[nodiscard]] Status ReadExact(int fd, uint64_t offset, uint8_t* out, size_t n);
 
 }  // namespace seep::store
 

@@ -48,6 +48,29 @@ TEST(CloudProviderTest, LifecycleTransitions) {
   EXPECT_FALSE(provider.ReleaseVm(id).ok());  // already dead
 }
 
+TEST(CloudProviderTest, CompensatingReleaseToleratesAlreadyTerminated) {
+  // Regression test for the seep_analyzer unchecked-status rule: the
+  // compensation paths used to `(void)` the ReleaseVm status, so a
+  // failed release (a billing leak) looked identical to a benign
+  // double-release. ReleaseVmCompensating tolerates exactly the benign
+  // races — the VM was already released or already failed — and aborts
+  // on anything else.
+  sim::Simulation sim;
+  CloudProvider provider(&sim, SlowProvider(), 1);
+  const VmId released_twice = provider.RequestVmImmediate();
+  provider.ReleaseVmCompensating(released_twice);
+  EXPECT_EQ(provider.GetVm(released_twice)->state, VmState::kReleased);
+  // Compensating a VM another path already released must not abort.
+  provider.ReleaseVmCompensating(released_twice);
+
+  // Compensating a VM that died before the release must not abort
+  // either: the compensation's goal (the VM is not billing) holds.
+  const VmId died_first = provider.RequestVmImmediate();
+  ASSERT_TRUE(provider.KillVm(died_first).ok());
+  provider.ReleaseVmCompensating(died_first);
+  EXPECT_EQ(provider.GetVm(died_first)->state, VmState::kFailed);
+}
+
 TEST(CloudProviderTest, UnknownVmRejected) {
   sim::Simulation sim;
   CloudProvider provider(&sim, SlowProvider(), 1);

@@ -1,0 +1,23 @@
+// Positive fixtures for the choke-point rule: protocol-map mutations
+// from a file outside the sanctioned caller set must fire, including
+// the receiver-matched backup-map Delete.
+namespace seep {
+
+class Cluster {
+ public:
+  void Helper();
+};
+
+class BackupStore {
+ public:
+  void Helper();
+};
+
+void Rogue(Cluster* cluster, BackupStore* backups) {
+  cluster->InstallRoutes(1, 2);   // routes only via the reconfig plane
+  cluster->DeployInstance(3);     // deploys only via plan stages
+  cluster->DeleteBackup(4);       // deletion only via the choke point
+  backups->Delete(5);             // receiver-matched: the backup map
+}
+
+}  // namespace seep

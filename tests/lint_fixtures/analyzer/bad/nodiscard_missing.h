@@ -1,0 +1,18 @@
+// Positive fixtures for the nodiscard-coverage rule: Status- and
+// Result-returning declarations without [[nodiscard]] must fire.
+namespace seep {
+
+class Status {};
+
+template <typename T>
+class Result {};
+
+Status Open();
+Result<int> DecodeHeader();
+
+class Store {
+ public:
+  Status Append(int frame);
+};
+
+}  // namespace seep

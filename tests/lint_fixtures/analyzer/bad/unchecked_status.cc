@@ -1,0 +1,17 @@
+// Positive fixtures for the unchecked-status rule: all three discard
+// shapes (bare statement, (void) cast, assigned-never-read) must fire.
+namespace seep {
+
+class Status {};
+
+Status DoAppend();
+Status DoFsync();
+Status MakeStatus();
+
+void Caller() {
+  DoAppend();                // bare-statement discard
+  (void)DoFsync();           // explicit (void) cast discard
+  Status st = MakeStatus();  // local assigned but never inspected
+}
+
+}  // namespace seep

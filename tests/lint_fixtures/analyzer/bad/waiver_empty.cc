@@ -1,0 +1,15 @@
+// Positive fixtures for waiver-needs-reason: a waiver without a reason
+// and a waiver naming an unknown rule are both violations (and do not
+// suppress the underlying unchecked-status hit).
+namespace seep {
+
+class Status {};
+
+[[nodiscard]] Status Probe();
+
+void Waived() {
+  Probe();  // seep-ok: unchecked-status --
+  Probe();  // seep-ok: bogus-rule -- reason for a rule that is not real
+}
+
+}  // namespace seep

@@ -1,0 +1,50 @@
+// Negative fixtures: every shape here is legitimate and the tree must
+// come out clean — checked statuses, a justified waiver, an exhaustive
+// switch, a loud default, and an ambiguous overload (skipped by the
+// name-keyed frontend; the [[nodiscard]] attribute covers it in the
+// compiler).
+namespace seep {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+enum class MessageType { kHello = 1, kBatch };
+
+[[nodiscard]] Status Checked();
+[[nodiscard]] Status Waivable();
+[[nodiscard]] Status Overloaded(int v);
+
+void Consumer() {
+  Status st = Checked();
+  if (!st.ok()) {
+    return;
+  }
+  Waivable();  // seep-ok: unchecked-status -- fixture: best-effort probe
+  Overloaded(3);  // ambiguous with the void overload in helper.h
+}
+
+int Exhaustive(MessageType t) {
+  switch (t) {
+    case MessageType::kHello:
+      return 1;
+    case MessageType::kBatch:
+      return 2;
+  }
+  return 0;
+}
+
+int LoudDefault(MessageType t) {
+  switch (t) {
+    case MessageType::kHello:
+      return 1;
+    case MessageType::kBatch:
+      return 2;
+    default:
+      SEEP_CHECK(false);
+      return 0;
+  }
+}
+
+}  // namespace seep

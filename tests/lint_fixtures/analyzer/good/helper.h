@@ -1,0 +1,9 @@
+// Edited in place by the cache-invalidation self-test: Ping() gains a
+// [[nodiscard]] Status return, which changes the registry fingerprint
+// and must force uses_header.cc to be re-analyzed (and then flagged).
+namespace seep {
+
+void Ping();
+void Overloaded(long v);
+
+}  // namespace seep

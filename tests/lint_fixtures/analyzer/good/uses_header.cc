@@ -1,0 +1,13 @@
+#include "helper.h"
+
+// Clean while helper.h declares `void Ping();`. The self-test rewrites
+// that declaration to return Status, after which this bare call must be
+// re-analyzed and reported — proving header edits invalidate dependent
+// TU verdicts.
+namespace seep {
+
+void CallsHelper() {
+  Ping();
+}
+
+}  // namespace seep

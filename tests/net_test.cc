@@ -261,8 +261,8 @@ TEST(LocalClusterTest, BidirectionalTraffic) {
       cluster.StartWorker(2, [&](Message m) { at2.Push(std::move(m)); })
           .ok());
   for (uint64_t i = 0; i < 50; ++i) {
-    cluster.Post(1, 2, MakeMsg(1, 2, i));
-    cluster.Post(2, 1, MakeMsg(2, 1, i));
+    ASSERT_NE(cluster.Post(1, 2, MakeMsg(1, 2, i)), SendStatus::kClosed);
+    ASSERT_NE(cluster.Post(2, 1, MakeMsg(2, 1, i)), SendStatus::kClosed);
   }
   EXPECT_TRUE(at2.WaitForCount(50));
   EXPECT_TRUE(at1.WaitForCount(50));
@@ -274,8 +274,8 @@ TEST(LocalClusterTest, SenderMayStartBeforeReceiver) {
   LocalCluster cluster;
   Inbox inbox;
   ASSERT_TRUE(cluster.StartWorker(1, nullptr).ok());
-  cluster.Post(1, 2, MakeMsg(1, 2, 1));
-  cluster.Post(1, 2, MakeMsg(1, 2, 2));
+  ASSERT_NE(cluster.Post(1, 2, MakeMsg(1, 2, 1)), SendStatus::kClosed);
+  ASSERT_NE(cluster.Post(1, 2, MakeMsg(1, 2, 2)), SendStatus::kClosed);
   ASSERT_TRUE(
       cluster.StartWorker(2, [&](Message m) { inbox.Push(std::move(m)); })
           .ok());
@@ -307,7 +307,9 @@ TEST(LocalClusterTest, KilledWorkerLooksLikeDeadPeer) {
   // The sender observes the dead peer: its outbound link dies. Keep
   // posting so the link's death is exercised, not just idle-detected.
   EXPECT_TRUE(WaitFor([&] {
-    cluster.Post(1, 2, MakeMsg(1, 2, 99));
+    // The peer is dead; this probe is allowed (expected) to fail.
+    // seep-ok: unchecked-status -- probing a dead link
+    (void)cluster.Post(1, 2, MakeMsg(1, 2, 99));
     return disconnects_at_1.load() >= 1;
   }));
 
@@ -345,7 +347,7 @@ TEST(LocalClusterTest, HelloAttributesInboundDisconnect) {
                   .ok());
   ASSERT_TRUE(cluster.StartWorker(7, nullptr).ok());
   // Establish 7 -> 2 (hello carries from_vm=7), then kill the sender.
-  cluster.Post(7, 2, MakeMsg(7, 2, 1));
+  ASSERT_NE(cluster.Post(7, 2, MakeMsg(7, 2, 1)), SendStatus::kClosed);
   EXPECT_TRUE(WaitFor(
       [&] { return cluster.TotalStats().messages_delivered >= 1; }));
   cluster.KillWorker(7);

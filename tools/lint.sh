@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command driver for the whole static-analysis suite. Runs every
+# lint's self-test (so a broken rule fails loudly before it silently
+# passes the tree) and then every lint against the repo. Any failure
+# fails the run; all output keeps the shared `file:line: [rule] detail`
+# format.
+#
+# Usage: tools/lint.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+tools="$root/tools"
+status=0
+
+run() {
+  echo "== $* =="
+  if ! "$@"; then
+    status=1
+  fi
+}
+
+run python3 "$tools/check_format.py"
+run python3 "$tools/lint_layers.py" --self-test
+run python3 "$tools/lint_layers.py" --root "$root"
+run python3 "$tools/lint_concurrency.py" --self-test
+run python3 "$tools/lint_concurrency.py" --root "$root"
+run python3 "$tools/seep_analyzer.py" --self-test
+run python3 "$tools/seep_analyzer.py" --root "$root"
+
+if [ "$status" -ne 0 ]; then
+  echo "lint.sh: FAILED" >&2
+else
+  echo "lint.sh: all lints clean"
+fi
+exit "$status"

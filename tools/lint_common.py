@@ -1,0 +1,87 @@
+"""Shared harness for the tools/ lint suite.
+
+Every lint in this repo (lint_layers.py, lint_concurrency.py,
+seep_analyzer.py) follows the same contract:
+
+  * violations are (rule, "file:line", detail) triples
+  * output is one `file:line: [rule] detail` line per violation
+  * exit status 0 when clean, 1 on violations, 2 on usage errors
+  * `--self-test` runs the rules against tests/lint_fixtures/ and fails
+    unless every rule class fires on the deliberately-broken fixtures
+
+This module carries the shared plumbing so the three tools report
+identically and their self-tests are built the same way; tools/lint.sh
+drives all of them as one suite.
+"""
+
+import sys
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def strip_comments(text):
+    """Removes // and block comments, preserving line structure.
+
+    String literals are preserved verbatim so `//` inside a string does
+    not start a comment. Used by every lint that must not match source
+    patterns inside commentary.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif text[i] == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:min(j + 1, n)])
+            i = j + 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def report(tool, violations, clean_message):
+    """Prints violations in the shared format; returns the exit status."""
+    for rule, where, detail in violations:
+        print(f"{where}: [{rule}] {detail}")
+    if violations:
+        print(f"{tool}: {len(violations)} violation(s)", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    print(f"{tool}: {clean_message}")
+    return EXIT_CLEAN
+
+
+def self_test_verdict(tool, expected_rules, violations, extra_failures=()):
+    """Checks that every expected rule fired on the fixture tree.
+
+    `extra_failures` carries scenario-level self-test failures (e.g. a
+    negative fixture that produced violations, a cache that failed to
+    invalidate) as human-readable strings. Returns the exit status.
+    """
+    found = {rule for rule, _, _ in violations}
+    missing = sorted(set(expected_rules) - found)
+    failures = list(extra_failures)
+    if missing:
+        failures.append("rules that did not fire on the fixture "
+                        "violations: " + ", ".join(missing))
+    if failures:
+        print(f"{tool} self-test FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        for rule, where, _ in violations:
+            print(f"  fired: {rule} at {where}", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    print(f"{tool} self-test OK ({len(set(expected_rules))} rule classes "
+          "fire on the fixture tree)")
+    return EXIT_CLEAN

@@ -38,6 +38,9 @@ import re
 import sys
 from pathlib import Path
 
+import lint_common
+from lint_common import strip_comments
+
 # Directories scanned for raw-mutex use and waiver hygiene, relative to the
 # repo root. Fixture trees are excluded: they exist to contain violations.
 SCAN_DIRS = ("src", "tests", "bench", "examples")
@@ -96,31 +99,6 @@ WAIVER_RE = re.compile(r"SEEP_UNGUARDED\s*\(\s*(\"(?:[^\"\\]|\\.)*\")?\s*\)")
 
 SYNC_MUTEX_DECL_RE = re.compile(
     r"\bsync::Mutex\s+(\w+)\s*(?:;|SEEP_)")
-
-
-def strip_comments(text):
-    """Removes // and block comments, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        if text.startswith("//", i):
-            j = text.find("\n", i)
-            i = n if j < 0 else j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        elif text[i] == '"':
-            j = i + 1
-            while j < n and text[j] != '"':
-                j += 2 if text[j] == "\\" else 1
-            out.append(text[i:min(j + 1, n)])
-            i = j + 1
-        else:
-            out.append(text[i])
-            i += 1
-    return "".join(out)
 
 
 def scan_files(repo_root):
@@ -432,20 +410,10 @@ def self_test(repo_root):
     check_lock_order(fixtures, fixtures / "lock_order_cycle.json",
                      violations)
 
-    found = {rule for rule, _, _ in violations}
     expected = {"no-raw-mutex", "unannotated-member", "waiver-needs-reason",
                 "lock-order-cycle", "lock-order-stale-mutex"}
-    missing = expected - found
-    if missing:
-        print("lint_concurrency self-test FAILED; rules that did not fire "
-              f"on the fixtures: {', '.join(sorted(missing))}",
-              file=sys.stderr)
-        for v in violations:
-            print(f"  fired: {v[0]} at {v[1]}", file=sys.stderr)
-        return 1
-    print(f"lint_concurrency self-test OK ({len(expected)} rule classes "
-          "fire on the fixture tree)")
-    return 0
+    return lint_common.self_test_verdict(
+        "lint_concurrency", expected, violations)
 
 
 def main():
@@ -463,19 +431,14 @@ def main():
     if not (repo_root / "src").is_dir():
         print(f"lint_concurrency: no src/ under {repo_root}",
               file=sys.stderr)
-        return 2
+        return lint_common.EXIT_USAGE
 
     violations = lint(repo_root, repo_root / "tools" / "lock_order.json",
                       THREADED_TUS)
-    for rule, where, detail in violations:
-        print(f"{where}: [{rule}] {detail}")
-    if violations:
-        print(f"lint_concurrency: {len(violations)} violation(s)",
-              file=sys.stderr)
-        return 1
-    print("lint_concurrency: clean (no raw mutexes, threaded members "
-          "annotated, waivers reasoned, lock order acyclic)")
-    return 0
+    return lint_common.report(
+        "lint_concurrency", violations,
+        "clean (no raw mutexes, threaded members annotated, waivers "
+        "reasoned, lock order acyclic)")
 
 
 if __name__ == "__main__":

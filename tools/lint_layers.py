@@ -3,7 +3,7 @@
 
 The repo is layered (see DESIGN.md): each directory under src/ may only
 include headers from itself and from the layers listed in LAYER_DEPS. On
-top of the layer map, eight seam rules protect the component interfaces
+top of the layer map, seven seam rules protect the component interfaces
 introduced by the runtime decomposition, the networking subsystem, the
 reconfiguration plane and the durable checkpoint store:
 
@@ -28,13 +28,6 @@ reconfiguration plane and the durable checkpoint store:
     workers run off the driver thread and hand frames back through the
     Transport seam; a worker writing sockets directly would bypass both
     the per-link FIFO the chunk protocol assumes and the audit hooks.
-  * coordinator-via-plan-only: src/control/ files other than the
-    reconfiguration plane itself (reconfig_plan.*, reconfig_executor.*)
-    and the initial deployment (deployment_manager.*) must not call
-    Membership::DeployInstance or Cluster::InstallRoutes. Coordinators
-    mutate the cluster exclusively by building ReconfigPlans; a direct
-    deploy/reroute would dodge the plan's compensations and the
-    plan-scoped audit invariants (no-leaked-vm, routes-restored-on-abort).
   * store-isolation: src/store/ is a storage-engine leaf; it may include
     only serde/ (framing, crc, compression) and common/. The log knows
     bytes and record metadata, never operators, checkpoint objects or
@@ -47,6 +40,12 @@ reconfiguration plane and the durable checkpoint store:
   * no-upward-dependency: a layer including a header from a higher layer
     (e.g. core including runtime/) — the generic layer-map check.
 
+The former coordinator-via-plan-only regex rule is retired: its
+invariant (cluster mutations only through the reconfiguration plane's
+choke points) is now enforced AST-accurately by tools/seep_analyzer.py's
+choke-point-discipline rule, which resolves actual call expressions
+instead of pattern-matching source text.
+
 Exit status: 0 when clean, 1 on any violation (CI fails), 2 on usage
 errors. `--self-test` runs the lint against tests/lint_fixtures/, a tiny
 fake tree that contains one violation of each rule, and verifies each is
@@ -57,6 +56,8 @@ import argparse
 import re
 import sys
 from pathlib import Path
+
+import lint_common
 
 # Allowed include targets per src/ directory (besides itself). Mirrors the
 # target_link_libraries graph in src/*/CMakeLists.txt; keep the two in sync.
@@ -101,16 +102,6 @@ STORE_INCLUDE_ALLOWLIST = {
 # What the storage engine itself may include: framing/compression and the
 # base layer. Anything else is protocol knowledge leaking below the seam.
 STORE_ALLOWED_TARGETS = {"store", "serde", "common"}
-
-# Cluster-mutating calls reserved for the reconfiguration plane (and the
-# initial deployment). Matched against control/ source text, not includes.
-PLAN_ONLY_CALL_RE = re.compile(r"\b(DeployInstance|InstallRoutes)\s*\(")
-
-# control/ files that implement the plan stages (or the pre-plan initial
-# deployment) and may therefore deploy instances and install routes.
-PLAN_ONLY_EXEMPT_STEMS = {
-    "reconfig_plan", "reconfig_executor", "deployment_manager",
-}
 
 
 def quoted_includes(path):
@@ -190,18 +181,6 @@ def lint_tree(src_root):
                     "component-no-cluster-header", where,
                     "runtime component headers forward-declare Cluster; "
                     "only their .cc files may include runtime/cluster.h"))
-        if layer == "control" and path.stem not in PLAN_ONLY_EXEMPT_STEMS:
-            for number, line in enumerate(
-                    path.read_text(errors="replace").splitlines(), start=1):
-                match = PLAN_ONLY_CALL_RE.search(line)
-                if match:
-                    violations.append((
-                        "coordinator-via-plan-only",
-                        f"{src_root}/{rel}:{number}",
-                        f"coordinators must not call {match.group(1)} "
-                        "directly; cluster mutations go through ReconfigPlan "
-                        "stages so compensations and the plan audit "
-                        "invariants see them"))
     return violations
 
 
@@ -212,21 +191,12 @@ def self_test(repo_root):
         print(f"lint_layers: fixture tree missing: {fixtures}",
               file=sys.stderr)
         return 1
-    found = {rule for rule, _, _ in lint_tree(fixtures)}
     expected = {"no-upward-dependency", "control-no-raw-network",
                 "component-no-cluster-header", "net-isolation",
                 "net-only-in-transport", "ckpt-worker-no-net",
-                "coordinator-via-plan-only", "store-isolation",
-                "store-only-in-backup-path"}
-    missing = expected - found
-    if missing:
-        print("lint_layers self-test FAILED; rules that did not fire on "
-              f"the fixture violations: {', '.join(sorted(missing))}",
-              file=sys.stderr)
-        return 1
-    print(f"lint_layers self-test OK ({len(expected)} rules fire on the "
-          "fixture tree)")
-    return 0
+                "store-isolation", "store-only-in-backup-path"}
+    return lint_common.self_test_verdict(
+        "lint_layers", expected, lint_tree(fixtures))
 
 
 def main():
@@ -245,16 +215,9 @@ def main():
     src_root = repo_root / "src"
     if not src_root.is_dir():
         print(f"lint_layers: no src/ under {repo_root}", file=sys.stderr)
-        return 2
-    violations = lint_tree(src_root)
-    for rule, where, detail in violations:
-        print(f"{where}: [{rule}] {detail}")
-    if violations:
-        print(f"lint_layers: {len(violations)} violation(s)",
-              file=sys.stderr)
-        return 1
-    print("lint_layers: include graph clean")
-    return 0
+        return lint_common.EXIT_USAGE
+    return lint_common.report(
+        "lint_layers", lint_tree(src_root), "include graph clean")
 
 
 if __name__ == "__main__":
